@@ -1,0 +1,57 @@
+// Command benchgen writes the synthetic benchmark suite as BLIF files, one
+// per circuit, so external tools can consume the same workloads the tables
+// are generated from.
+//
+// Usage:
+//
+//	benchgen -out ./blif          # whole suite
+//	benchgen -out ./blif -only C432
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"lily"
+)
+
+func main() {
+	out := flag.String("out", ".", "output directory")
+	only := flag.String("only", "", "emit a single circuit")
+	flag.Parse()
+
+	names := lily.BenchmarkNames()
+	if *only != "" {
+		names = []string{*only}
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	for _, name := range names {
+		c, err := lily.GenerateBenchmark(name)
+		if err != nil {
+			fatal(err)
+		}
+		path := filepath.Join(*out, name+".blif")
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := c.WriteBLIF(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		st := c.Stats()
+		fmt.Printf("%s: %d PIs, %d POs, %d nodes -> %s\n", name, st.PIs, st.POs, st.Nodes, path)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgen:", err)
+	os.Exit(1)
+}

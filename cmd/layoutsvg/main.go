@@ -1,0 +1,64 @@
+// Command layoutsvg runs a pipeline on a circuit and writes the finished
+// standard-cell layout as an SVG image: cell rows colored by gate fanin,
+// pads on the boundary, and optionally the longest nets as rectilinear
+// spanning trees.
+//
+// Usage:
+//
+//	layoutsvg -circuit C432 -mapper lily -o c432_lily.svg
+//	layoutsvg -circuit C432 -mapper mis -nets 50 -o c432_mis.svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lily"
+)
+
+func main() {
+	circuit := flag.String("circuit", "C432", "benchmark name")
+	mapper := flag.String("mapper", "lily", "mapper: lily or mis")
+	mode := flag.String("mode", "area", "objective: area or delay")
+	out := flag.String("o", "layout.svg", "output SVG path")
+	nets := flag.Int("nets", 0, "draw the N longest nets (0 = none)")
+	scale := flag.Float64("scale", 0.25, "pixels per µm")
+	flag.Parse()
+
+	c, err := lily.GenerateBenchmark(*circuit)
+	if err != nil {
+		fatal(err)
+	}
+	opt := lily.FlowOptions{}
+	switch *mapper {
+	case "lily":
+		opt.Mapper = lily.MapperLily
+	case "mis":
+		opt.Mapper = lily.MapperMIS
+	default:
+		fatal(fmt.Errorf("unknown mapper %q", *mapper))
+	}
+	if *mode == "delay" {
+		opt.Objective = lily.ObjectiveDelay
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	res, err := lily.RenderLayoutSVG(c, opt, f, lily.SVGOptions{
+		Scale: *scale, DrawNets: *nets > 0, MaxNets: *nets,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %d gates, %.3f mm² chip, %.2f mm wire -> %s\n",
+		*circuit, res.Gates, res.ChipAreaMM2, res.WirelengthMM, *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "layoutsvg:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,74 @@
+// Command sta runs a pipeline and prints a timing report: longest path
+// delay, the critical path, and — against a target clock period — worst
+// slack and violation counts.
+//
+// Usage:
+//
+//	sta -circuit C1908 -mapper lily -period 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lily"
+)
+
+func main() {
+	circuit := flag.String("circuit", "C432", "benchmark name")
+	blif := flag.String("blif", "", "path to a combinational BLIF file")
+	mapper := flag.String("mapper", "lily", "mapper: lily or mis")
+	period := flag.Float64("period", 0, "clock period in ns (0: skip slack analysis)")
+	flag.Parse()
+
+	var c *lily.Circuit
+	var err error
+	if *blif != "" {
+		f, ferr := os.Open(*blif)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		c, err = lily.LoadBLIF(f)
+		f.Close()
+	} else {
+		c, err = lily.GenerateBenchmark(*circuit)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	opt := lily.FlowOptions{Objective: lily.ObjectiveDelay, ClockPeriodNS: *period}
+	switch *mapper {
+	case "lily":
+		opt.Mapper = lily.MapperLily
+	case "mis":
+		opt.Mapper = lily.MapperMIS
+	default:
+		fatal(fmt.Errorf("unknown mapper %q", *mapper))
+	}
+
+	res, err := lily.RunFlow(c, opt)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("circuit        %s (%s, delay mode)\n", res.Circuit, res.Mapper)
+	fmt.Printf("gates          %d (%.4f mm² active)\n", res.Gates, res.ActiveAreaMM2)
+	fmt.Printf("longest path   %.3f ns\n", res.DelayNS)
+	fmt.Printf("critical path  %s\n", strings.Join(res.CriticalPath, " -> "))
+	if *period > 0 {
+		fmt.Printf("clock period   %.3f ns\n", *period)
+		fmt.Printf("worst slack    %+.3f ns\n", res.WorstSlackNS)
+		if res.ViolatingCells > 0 {
+			fmt.Printf("VIOLATED       %d cells with negative slack\n", res.ViolatingCells)
+			os.Exit(1)
+		}
+		fmt.Println("met            all cells have non-negative slack")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sta:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,143 @@
+// Command tables regenerates the paper's evaluation tables: Table 1 (area
+// mode: instance area, final chip area, and total interconnect length after
+// detailed routing; MIS 2.1 vs Lily) and Table 2 (timing mode: instance
+// area and longest path delay; MIS 2.1 vs Lily).
+//
+// Usage:
+//
+//	tables -table 1            # Table 1 over the full suite
+//	tables -table 2            # Table 2 over the 12 timing circuits
+//	tables -table 1 -only C432 # single row
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lily"
+)
+
+func main() {
+	table := flag.Int("table", 1, "which table to regenerate (1 or 2)")
+	only := flag.String("only", "", "run a single named circuit")
+	verify := flag.Bool("verify", false, "verify mapped netlists against the source circuits")
+	autotune := flag.Bool("autotune", false, "let Lily retry with the paper's §5 remedies and keep the best run")
+	flag.Parse()
+
+	var names []string
+	switch *table {
+	case 1:
+		names = lily.BenchmarkNames()
+	case 2:
+		names = lily.Table2Names()
+	default:
+		fmt.Fprintf(os.Stderr, "tables: unknown table %d\n", *table)
+		os.Exit(2)
+	}
+	if *only != "" {
+		names = []string{*only}
+	}
+
+	if *table == 1 {
+		runTable1(names, *verify, *autotune)
+	} else {
+		runTable2(names, *verify, *autotune)
+	}
+}
+
+func runTable1(names []string, verify, autotune bool) {
+	fmt.Println("Table 1: area mode — MIS2.1 vs Lily (instance area, chip area, wirelength)")
+	fmt.Printf("%-8s | %10s %10s %8s | %10s %10s %8s | %6s %6s %6s\n",
+		"Ex.", "mis inst", "mis chip", "mis WL", "lily inst", "lily chip", "lily WL",
+		"Δinst", "Δchip", "ΔWL")
+	fmt.Printf("%-8s | %10s %10s %8s | %10s %10s %8s | %6s %6s %6s\n",
+		"", "mm²", "mm²", "mm", "mm²", "mm²", "mm", "%", "%", "%")
+	var sumMI, sumMC, sumMW, sumLI, sumLC, sumLW float64
+	var gi, gc, gw float64 // geometric-mean accumulators (log-free: products)
+	count := 0
+	for _, name := range names {
+		c, err := lily.GenerateBenchmark(name)
+		if err != nil {
+			fatal(err)
+		}
+		m, err := lily.RunFlow(c, lily.FlowOptions{
+			Mapper: lily.MapperMIS, Objective: lily.ObjectiveArea, VerifyEquivalence: verify})
+		if err != nil {
+			fatal(err)
+		}
+		l, err := lily.RunFlow(c, lily.FlowOptions{
+			Mapper: lily.MapperLily, Objective: lily.ObjectiveArea,
+			AutoTune: autotune, VerifyEquivalence: verify})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-8s | %10.3f %10.3f %8.2f | %10.3f %10.3f %8.2f | %+6.1f %+6.1f %+6.1f\n",
+			name, m.ActiveAreaMM2, m.ChipAreaMM2, m.WirelengthMM,
+			l.ActiveAreaMM2, l.ChipAreaMM2, l.WirelengthMM,
+			pct(l.ActiveAreaMM2, m.ActiveAreaMM2),
+			pct(l.ChipAreaMM2, m.ChipAreaMM2),
+			pct(l.WirelengthMM, m.WirelengthMM))
+		sumMI += m.ActiveAreaMM2
+		sumMC += m.ChipAreaMM2
+		sumMW += m.WirelengthMM
+		sumLI += l.ActiveAreaMM2
+		sumLC += l.ChipAreaMM2
+		sumLW += l.WirelengthMM
+		gi += pct(l.ActiveAreaMM2, m.ActiveAreaMM2)
+		gc += pct(l.ChipAreaMM2, m.ChipAreaMM2)
+		gw += pct(l.WirelengthMM, m.WirelengthMM)
+		count++
+	}
+	fmt.Printf("%-8s | %10.3f %10.3f %8.2f | %10.3f %10.3f %8.2f | %+6.1f %+6.1f %+6.1f\n",
+		"TOTAL", sumMI, sumMC, sumMW, sumLI, sumLC, sumLW,
+		pct(sumLI, sumMI), pct(sumLC, sumMC), pct(sumLW, sumMW))
+	fmt.Printf("average per-circuit change: inst %+.1f%%  chip %+.1f%%  WL %+.1f%%\n",
+		gi/float64(count), gc/float64(count), gw/float64(count))
+	fmt.Println("paper reports: inst +1.9%  chip -5%  WL -7% (averages)")
+}
+
+func runTable2(names []string, verify, autotune bool) {
+	fmt.Println("Table 2: timing mode — MIS2.1 vs Lily (instance area, longest path delay)")
+	fmt.Printf("%-8s | %10s %8s | %10s %8s | %6s %6s\n",
+		"Ex.", "mis inst", "mis dly", "lily inst", "lily dly", "Δinst", "Δdly")
+	var sumMD, sumLD, dAcc float64
+	count := 0
+	for _, name := range names {
+		c, err := lily.GenerateBenchmark(name)
+		if err != nil {
+			fatal(err)
+		}
+		m, err := lily.RunFlow(c, lily.FlowOptions{
+			Mapper: lily.MapperMIS, Objective: lily.ObjectiveDelay, VerifyEquivalence: verify})
+		if err != nil {
+			fatal(err)
+		}
+		l, err := lily.RunFlow(c, lily.FlowOptions{
+			Mapper: lily.MapperLily, Objective: lily.ObjectiveDelay,
+			AutoTune: autotune, VerifyEquivalence: verify})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-8s | %10.3f %8.2f | %10.3f %8.2f | %+6.1f %+6.1f\n",
+			name, m.ActiveAreaMM2, m.DelayNS, l.ActiveAreaMM2, l.DelayNS,
+			pct(l.ActiveAreaMM2, m.ActiveAreaMM2), pct(l.DelayNS, m.DelayNS))
+		sumMD += m.DelayNS
+		sumLD += l.DelayNS
+		dAcc += pct(l.DelayNS, m.DelayNS)
+		count++
+	}
+	fmt.Printf("average delay change: %+.1f%% (paper reports -8%%)\n", dAcc/float64(count))
+}
+
+func pct(lilyVal, misVal float64) float64 {
+	if misVal == 0 {
+		return 0
+	}
+	return (lilyVal - misVal) / misVal * 100
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tables:", err)
+	os.Exit(1)
+}

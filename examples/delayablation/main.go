@@ -1,0 +1,72 @@
+// Delayablation explores the paper's §5 observation that Lily's "dynamic
+// wire length estimation procedure is not always accurate" and its proposed
+// remedies, on the timing objective (Table 2):
+//
+//   - base:     Lily delay mode as in the paper's experiments,
+//   - replace:  periodic global re-placement of the partially mapped
+//     network (§3.2),
+//   - fresh:    discard Lily's constructive positions and let the backend
+//     re-place the mapped netlist (isolates netlist-structure gains),
+//   - twopass:  MIS 2.2-style load recording (§6),
+//   - autotune: run the portfolio and keep the best measured delay
+//     (the paper's "repeat the mapping" remark, automated).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"lily"
+)
+
+func main() {
+	circuits := flag.String("circuits", "C499,duke2,misex3", "comma-separated benchmark names")
+	flag.Parse()
+
+	names := splitList(*circuits)
+	fmt.Printf("%-8s %9s | %9s %9s %9s %9s %9s\n",
+		"circuit", "mis2.1", "base", "replace", "fresh", "twopass", "autotune")
+	for _, name := range names {
+		c, err := lily.GenerateBenchmark(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		run := func(opt lily.FlowOptions) float64 {
+			opt.Objective = lily.ObjectiveDelay
+			r, err := lily.RunFlow(c, opt)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return r.DelayNS
+		}
+		mis := run(lily.FlowOptions{Mapper: lily.MapperMIS})
+		base := run(lily.FlowOptions{Mapper: lily.MapperLily})
+		repl := run(lily.FlowOptions{Mapper: lily.MapperLily, ReplaceEvery: 10})
+		fresh := run(lily.FlowOptions{Mapper: lily.MapperLily, RePlaceMapped: true})
+		twop := run(lily.FlowOptions{Mapper: lily.MapperLily, TwoPassDelay: true})
+		auto := run(lily.FlowOptions{Mapper: lily.MapperLily, AutoTune: true})
+		fmt.Printf("%-8s %8.2fns | %8.2fns %8.2fns %8.2fns %8.2fns %8.2fns\n",
+			name, mis, base, repl, fresh, twop, auto)
+		fmt.Printf("%-8s %9s | %+8.1f%% %+8.1f%% %+8.1f%% %+8.1f%% %+8.1f%%\n",
+			"", "", pct(base, mis), pct(repl, mis), pct(fresh, mis), pct(twop, mis), pct(auto, mis))
+	}
+	fmt.Println("\nNegative percentages beat the MIS 2.1 baseline; the autotune column")
+	fmt.Println("shows what the paper's retry remedy achieves automatically.")
+}
+
+func pct(v, ref float64) float64 { return (v - ref) / ref * 100 }
+
+func splitList(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

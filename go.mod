@@ -1,0 +1,3 @@
+module lily
+
+go 1.22

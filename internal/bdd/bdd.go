@@ -1,0 +1,210 @@
+// Package bdd is a reduced ordered binary decision diagram engine used for
+// formal equivalence checking between the source Boolean network and the
+// mapped netlist. It is deliberately small: a unique table for canonicity,
+// an ITE operation cache, and a node budget that turns exponential blowup
+// into a clean "unknown" answer the caller can fall back from (package
+// equiv then resorts to randomized simulation).
+package bdd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Ref is a node reference. The constants False and True are always valid.
+type Ref int32
+
+// Terminal nodes.
+const (
+	False Ref = 0
+	True  Ref = 1
+)
+
+// ErrNodeLimit is returned when a build exceeds the manager's node budget.
+var ErrNodeLimit = errors.New("bdd: node limit exceeded")
+
+type node struct {
+	level  int32 // variable index; terminals live at level numVars
+	lo, hi Ref
+}
+
+// Manager owns the node store for one variable ordering.
+type Manager struct {
+	numVars  int
+	maxNodes int
+	nodes    []node
+	unique   map[[3]int32]Ref
+	iteCache map[[3]Ref]Ref
+}
+
+// New creates a manager over numVars variables with the given node budget
+// (0 means one million nodes).
+func New(numVars, maxNodes int) *Manager {
+	if maxNodes <= 0 {
+		maxNodes = 1_000_000
+	}
+	m := &Manager{
+		numVars:  numVars,
+		maxNodes: maxNodes,
+		unique:   make(map[[3]int32]Ref),
+		iteCache: make(map[[3]Ref]Ref),
+	}
+	term := int32(numVars)
+	m.nodes = append(m.nodes, node{level: term}, node{level: term})
+	return m
+}
+
+// NumNodes returns the number of live nodes including terminals.
+func (m *Manager) NumNodes() int { return len(m.nodes) }
+
+// Var returns the BDD of variable i.
+func (m *Manager) Var(i int) (Ref, error) {
+	if i < 0 || i >= m.numVars {
+		return False, fmt.Errorf("bdd: variable %d out of range [0,%d)", i, m.numVars)
+	}
+	return m.mk(int32(i), False, True)
+}
+
+func (m *Manager) level(r Ref) int32 { return m.nodes[r].level }
+
+func (m *Manager) mk(level int32, lo, hi Ref) (Ref, error) {
+	if lo == hi {
+		return lo, nil
+	}
+	key := [3]int32{level, int32(lo), int32(hi)}
+	if r, ok := m.unique[key]; ok {
+		return r, nil
+	}
+	if len(m.nodes) >= m.maxNodes {
+		return False, ErrNodeLimit
+	}
+	m.nodes = append(m.nodes, node{level: level, lo: lo, hi: hi})
+	r := Ref(len(m.nodes) - 1)
+	m.unique[key] = r
+	return r, nil
+}
+
+// ITE computes if-then-else(f, g, h), the universal BDD operation.
+func (m *Manager) ITE(f, g, h Ref) (Ref, error) {
+	switch {
+	case f == True:
+		return g, nil
+	case f == False:
+		return h, nil
+	case g == h:
+		return g, nil
+	case g == True && h == False:
+		return f, nil
+	}
+	key := [3]Ref{f, g, h}
+	if r, ok := m.iteCache[key]; ok {
+		return r, nil
+	}
+	top := m.level(f)
+	if l := m.level(g); l < top {
+		top = l
+	}
+	if l := m.level(h); l < top {
+		top = l
+	}
+	f0, f1 := m.cofactors(f, top)
+	g0, g1 := m.cofactors(g, top)
+	h0, h1 := m.cofactors(h, top)
+	lo, err := m.ITE(f0, g0, h0)
+	if err != nil {
+		return False, err
+	}
+	hi, err := m.ITE(f1, g1, h1)
+	if err != nil {
+		return False, err
+	}
+	r, err := m.mk(top, lo, hi)
+	if err != nil {
+		return False, err
+	}
+	m.iteCache[key] = r
+	return r, nil
+}
+
+func (m *Manager) cofactors(r Ref, level int32) (lo, hi Ref) {
+	n := m.nodes[r]
+	if n.level != level {
+		return r, r
+	}
+	return n.lo, n.hi
+}
+
+// Not returns the complement.
+func (m *Manager) Not(a Ref) (Ref, error) { return m.ITE(a, False, True) }
+
+// And returns the conjunction.
+func (m *Manager) And(a, b Ref) (Ref, error) { return m.ITE(a, b, False) }
+
+// Or returns the disjunction.
+func (m *Manager) Or(a, b Ref) (Ref, error) { return m.ITE(a, True, b) }
+
+// Xor returns the exclusive or.
+func (m *Manager) Xor(a, b Ref) (Ref, error) {
+	nb, err := m.Not(b)
+	if err != nil {
+		return False, err
+	}
+	return m.ITE(a, nb, b)
+}
+
+// Eval evaluates the function under a full variable assignment.
+func (m *Manager) Eval(r Ref, assign []bool) bool {
+	for r != True && r != False {
+		n := m.nodes[r]
+		if assign[n.level] {
+			r = n.hi
+		} else {
+			r = n.lo
+		}
+	}
+	return r == True
+}
+
+// SatCount returns the number of satisfying assignments over all
+// variables (as float64; exact for < 2^53).
+func (m *Manager) SatCount(r Ref) float64 {
+	memo := make(map[Ref]float64)
+	var count func(r Ref) float64 // assignments below r's level
+	count = func(r Ref) float64 {
+		if r == False {
+			return 0
+		}
+		if r == True {
+			return 1
+		}
+		if v, ok := memo[r]; ok {
+			return v
+		}
+		n := m.nodes[r]
+		lo := count(n.lo) * math.Pow(2, float64(m.level(n.lo)-n.level-1))
+		hi := count(n.hi) * math.Pow(2, float64(m.level(n.hi)-n.level-1))
+		v := lo + hi
+		memo[r] = v
+		return v
+	}
+	return count(r) * math.Pow(2, float64(m.level(r)))
+}
+
+// AnySatisfying returns one satisfying assignment, or nil for False.
+func (m *Manager) AnySatisfying(r Ref) []bool {
+	if r == False {
+		return nil
+	}
+	assign := make([]bool, m.numVars)
+	for r != True {
+		n := m.nodes[r]
+		if n.hi != False {
+			assign[n.level] = true
+			r = n.hi
+		} else {
+			r = n.lo
+		}
+	}
+	return assign
+}

@@ -1,0 +1,201 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustVar(t *testing.T, m *Manager, i int) Ref {
+	t.Helper()
+	r, err := m.Var(i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestBasicOps(t *testing.T) {
+	m := New(3, 0)
+	a, b, c := mustVar(t, m, 0), mustVar(t, m, 1), mustVar(t, m, 2)
+	and, err := m.And(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	or, err := m.Or(and, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 8; r++ {
+		assign := []bool{r&1 != 0, r&2 != 0, r&4 != 0}
+		want := assign[0] && assign[1] || assign[2]
+		if m.Eval(or, assign) != want {
+			t.Errorf("eval(%v) wrong", assign)
+		}
+	}
+}
+
+func TestCanonicity(t *testing.T) {
+	// Structurally different constructions of the same function must hit
+	// the same node: a XOR b built two ways.
+	m := New(2, 0)
+	a, b := mustVar(t, m, 0), mustVar(t, m, 1)
+	x1, err := m.Xor(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (a AND !b) OR (!a AND b)
+	na, _ := m.Not(a)
+	nb, _ := m.Not(b)
+	t1, _ := m.And(a, nb)
+	t2, _ := m.And(na, b)
+	x2, err := m.Or(t1, t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x1 != x2 {
+		t.Errorf("XOR refs differ: %d vs %d (canonicity broken)", x1, x2)
+	}
+}
+
+func TestConstants(t *testing.T) {
+	m := New(2, 0)
+	a := mustVar(t, m, 0)
+	na, _ := m.Not(a)
+	zero, err := m.And(a, na)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero != False {
+		t.Error("a AND !a != False")
+	}
+	one, _ := m.Or(a, na)
+	if one != True {
+		t.Error("a OR !a != True")
+	}
+}
+
+func TestSatCount(t *testing.T) {
+	m := New(3, 0)
+	a, b := mustVar(t, m, 0), mustVar(t, m, 1)
+	and, _ := m.And(a, b)
+	if got := m.SatCount(and); got != 2 { // c free: 2 assignments
+		t.Errorf("satcount(a&b) = %v, want 2", got)
+	}
+	or, _ := m.Or(a, b)
+	if got := m.SatCount(or); got != 6 {
+		t.Errorf("satcount(a|b) = %v, want 6", got)
+	}
+	if got := m.SatCount(True); got != 8 {
+		t.Errorf("satcount(true) = %v, want 8", got)
+	}
+	if got := m.SatCount(False); got != 0 {
+		t.Errorf("satcount(false) = %v", got)
+	}
+}
+
+func TestAnySatisfying(t *testing.T) {
+	m := New(4, 0)
+	a, _ := m.Var(0)
+	d, _ := m.Var(3)
+	nd, _ := m.Not(d)
+	f, _ := m.And(a, nd)
+	assign := m.AnySatisfying(f)
+	if assign == nil || !m.Eval(f, assign) {
+		t.Errorf("witness %v does not satisfy", assign)
+	}
+	if m.AnySatisfying(False) != nil {
+		t.Error("False has a witness")
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	// A tiny budget must fail cleanly on a function that needs more nodes.
+	m := New(16, 24)
+	acc := False
+	var err error
+	for i := 0; i < 16; i += 2 {
+		a, verr := m.Var(i)
+		if verr != nil {
+			err = verr
+			break
+		}
+		b, verr := m.Var(i + 1)
+		if verr != nil {
+			err = verr
+			break
+		}
+		t1, verr := m.And(a, b)
+		if verr != nil {
+			err = verr
+			break
+		}
+		acc, verr = m.Or(acc, t1)
+		if verr != nil {
+			err = verr
+			break
+		}
+	}
+	if err == nil {
+		t.Error("node limit never hit")
+	}
+}
+
+// Property: BDD evaluation agrees with direct formula evaluation on random
+// AND/OR/NOT circuits.
+func TestRandomFormulaAgreement(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nvars := 2 + rng.Intn(6)
+		m := New(nvars, 0)
+		type fn struct {
+			ref  Ref
+			eval func([]bool) bool
+		}
+		var pool []fn
+		for i := 0; i < nvars; i++ {
+			r, err := m.Var(i)
+			if err != nil {
+				return false
+			}
+			i := i
+			pool = append(pool, fn{r, func(a []bool) bool { return a[i] }})
+		}
+		for step := 0; step < 12; step++ {
+			x := pool[rng.Intn(len(pool))]
+			y := pool[rng.Intn(len(pool))]
+			var r Ref
+			var err error
+			var ev func([]bool) bool
+			switch rng.Intn(3) {
+			case 0:
+				r, err = m.And(x.ref, y.ref)
+				ev = func(a []bool) bool { return x.eval(a) && y.eval(a) }
+			case 1:
+				r, err = m.Or(x.ref, y.ref)
+				ev = func(a []bool) bool { return x.eval(a) || y.eval(a) }
+			default:
+				r, err = m.Not(x.ref)
+				ev = func(a []bool) bool { return !x.eval(a) }
+			}
+			if err != nil {
+				return false
+			}
+			pool = append(pool, fn{r, ev})
+		}
+		top := pool[len(pool)-1]
+		assign := make([]bool, nvars)
+		for r := 0; r < 1<<nvars; r++ {
+			for j := 0; j < nvars; j++ {
+				assign[j] = r&(1<<j) != 0
+			}
+			if m.Eval(top.ref, assign) != top.eval(assign) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,765 @@
+// Package core implements Lily, the paper's layout-driven technology
+// mapper. Lily covers the NAND2/INV subject graph by dynamic programming
+// like DAGON and MIS, but every candidate match is positioned on the layout
+// plane and charged an estimated wiring cost in addition to its gate area
+// (area mode, §3) or its wiring load capacitance (delay mode, §4). The
+// positional information comes from a balanced global placement of the
+// inchoate network that is updated incrementally as matches are chosen.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"lily/internal/cover"
+	"lily/internal/geom"
+	"lily/internal/library"
+	"lily/internal/logic"
+	"lily/internal/match"
+	"lily/internal/netlist"
+	"lily/internal/place"
+	"lily/internal/timing"
+	"lily/internal/wire"
+)
+
+// Mode selects the optimization objective.
+type Mode int
+
+const (
+	// ModeArea minimizes layout area: gate area plus routing area (§3).
+	ModeArea Mode = iota
+	// ModeDelay minimizes output arrival including wiring delay (§4).
+	ModeDelay
+)
+
+func (m Mode) String() string {
+	if m == ModeDelay {
+		return "delay"
+	}
+	return "area"
+}
+
+// UpdateRule selects how a candidate match is positioned (§3.2).
+type UpdateRule int
+
+const (
+	// CMOfFans places the match at the center of mass of the centers of
+	// its fanin and fanout rectangles (the paper's experimental choice).
+	CMOfFans UpdateRule = iota
+	// CMOfMerged places the match at the center of mass of the subject
+	// nodes it covers.
+	CMOfMerged
+	// MedianFans places the match at the Manhattan-optimal point — the
+	// median of the fanin/fanout rectangle corner coordinates (§3.2).
+	MedianFans
+)
+
+func (u UpdateRule) String() string {
+	switch u {
+	case CMOfMerged:
+		return "cm-of-merged"
+	case MedianFans:
+		return "median-fans"
+	default:
+		return "cm-of-fans"
+	}
+}
+
+// Options tunes the Lily mapper.
+type Options struct {
+	Mode   Mode
+	Update UpdateRule
+	// WireModel selects the net-length estimator of §3.4.
+	WireModel wire.Model
+	// WireWeight is the weight λ on the routing-area term of the cost
+	// (§5 suggests re-running with a reduced weight when the estimate
+	// misleads); 1.0 reproduces the paper's setting.
+	WireWeight float64
+	// OrderCones enables the exit-line cone ordering of §3.5.
+	OrderCones bool
+	// ReplaceEvery, when positive, re-runs the global placement on the
+	// partially mapped network after every ReplaceEvery cones (§3.2:
+	// "repeating the global placement on the partially mapped network
+	// after a cone or a predetermined number of cones are processed"),
+	// reassigning placePositions to eggs and mapPositions to hawks while
+	// keeping the die and pads fixed.
+	ReplaceEvery int
+	// TwoPassDelay runs delay-mode mapping twice: the first pass records
+	// the realized output load of every mapped node, the second pass uses
+	// those loads instead of the base-function fanout estimate — the
+	// MIS 2.2-style load preprocessing the paper points to in §6 for
+	// overcoming its load-independent delay model.
+	TwoPassDelay bool
+	// TraceLifecycle records every egg/nestling/hawk/dove transition.
+	TraceLifecycle bool
+	// Place configures the global placement of the inchoate network.
+	Place place.Config
+}
+
+// DefaultOptions returns the configuration used for the paper's tables.
+func DefaultOptions(mode Mode) Options {
+	return Options{
+		Mode:       mode,
+		Update:     CMOfFans,
+		WireModel:  wire.ModelHPWLSteiner,
+		WireWeight: 1.0,
+		OrderCones: true,
+		Place:      place.DefaultConfig(),
+	}
+}
+
+// Result is the outcome of a Lily mapping run.
+type Result struct {
+	// Netlist is the mapped circuit with Lily's constructive placement
+	// positions on every cell.
+	Netlist *netlist.Netlist
+	// Placement is the global placement of the inchoate network that
+	// guided the run.
+	Placement *place.Result
+	// Stats summarizes the node life cycle.
+	Stats LifecycleStats
+	// Trace holds the life-cycle transitions when requested.
+	Trace []Transition
+}
+
+// Map runs Lily on a premapped subject graph.
+func Map(sub *logic.Network, lib *library.Library, opt Options) (*Result, error) {
+	pl, err := place.Global(sub, baseWidth(sub, lib), lib.RowHeight, opt.Place)
+	if err != nil {
+		return nil, err
+	}
+	return MapPlaced(sub, lib, pl, opt)
+}
+
+// MapPlaced runs Lily against an existing global placement of the subject
+// graph (so callers can share one placement across ablation runs).
+func MapPlaced(sub *logic.Network, lib *library.Library, pl *place.Result, opt Options) (*Result, error) {
+	if opt.Mode == ModeDelay && opt.TwoPassDelay {
+		firstOpt := opt
+		firstOpt.TwoPassDelay = false
+		first, err := MapPlaced(sub, lib, pl, firstOpt)
+		if err != nil {
+			return nil, err
+		}
+		hints := recordedLoads(sub, lib, first, opt.WireModel)
+		return mapPlaced(sub, lib, pl, opt, hints)
+	}
+	return mapPlaced(sub, lib, pl, opt, nil)
+}
+
+func mapPlaced(sub *logic.Network, lib *library.Library, pl *place.Result, opt Options, loadHints map[logic.NodeID]float64) (*Result, error) {
+	if opt.WireWeight < 0 {
+		return nil, fmt.Errorf("core: negative wire weight")
+	}
+	n := len(sub.Nodes)
+	lm := &lily{
+		sub: sub, lib: lib, opt: opt, pl: pl,
+		mt:            match.NewMatcher(sub, lib),
+		state:         make([]State, n),
+		best:          make([]*match.Match, n),
+		cost:          make([]float64, n),
+		wCost:         make([]float64, n),
+		areaSum:       make([]float64, n),
+		mapPos:        make([]geom.Point, n),
+		blockA:        make([]*timing.BlockArrival, n),
+		committed:     make([]*match.Match, n),
+		hawkPos:       make([]geom.Point, n),
+		hawkBlock:     make([]*timing.BlockArrival, n),
+		hawkConsumers: make(map[logic.NodeID][]hawkRef),
+		matchCache:    make(map[logic.NodeID][]*match.Match),
+		everDove:      make([]bool, n),
+		loadHints:     loadHints,
+	}
+	if opt.TraceLifecycle {
+		lm.trace = make([]Transition, 0, 4*n)
+	}
+	return lm.run()
+}
+
+// baseWidth returns the inchoate cell-width function (NAND2 and INV base
+// cells) used for the global placement.
+func baseWidth(sub *logic.Network, lib *library.Library) func(logic.NodeID) float64 {
+	return func(id logic.NodeID) float64 {
+		nd := sub.Node(id)
+		if nd != nil && len(nd.Fanins) == 2 {
+			return lib.Nand2.Width
+		}
+		return lib.Inv.Width
+	}
+}
+
+// hawkRef records a committed gate that consumes a signal.
+type hawkRef struct {
+	hawk logic.NodeID
+	gate *library.Gate
+}
+
+type lily struct {
+	sub *logic.Network
+	lib *library.Library
+	opt Options
+	mt  *match.Matcher
+	pl  *place.Result
+
+	state []State
+	// Tentative (nestling) dynamic-programming values.
+	best    []*match.Match
+	cost    []float64 // combined layout cost (area mode)
+	wCost   []float64 // accumulated wire length (µm)
+	areaSum []float64 // accumulated gate area (both modes)
+	mapPos  []geom.Point
+	blockA  []*timing.BlockArrival
+
+	// Committed (hawk) values.
+	committed     []*match.Match
+	hawkPos       []geom.Point
+	hawkBlock     []*timing.BlockArrival
+	hawkConsumers map[logic.NodeID][]hawkRef
+
+	matchCache map[logic.NodeID][]*match.Match
+	// everDove marks nodes that were merged away at least once; a later
+	// commit turning such a node into a hawk is a reincarnation (logic
+	// duplication across cones, Fig 2.2).
+	everDove []bool
+	// reawakened lists prior doves re-evaluated in the current cone; ones
+	// the commit does not claim revert to dove.
+	reawakened []logic.NodeID
+	// loadHints holds per-node output loads recorded by a previous delay
+	// pass (TwoPassDelay); nil on the first pass.
+	loadHints map[logic.NodeID]float64
+
+	stats LifecycleStats
+	trace []Transition
+}
+
+func (lm *lily) run() (*Result, error) {
+	order := lm.coneOrder()
+	for i, poIdx := range order {
+		root := lm.sub.POs[poIdx]
+		if err := lm.processCone(root); err != nil {
+			return nil, err
+		}
+		if err := lm.commitCone(root); err != nil {
+			return nil, err
+		}
+		lm.stats.ConesProcessed++
+		if lm.opt.ReplaceEvery > 0 && i+1 < len(order) &&
+			lm.stats.ConesProcessed%lm.opt.ReplaceEvery == 0 {
+			if err := lm.replaceGlobal(); err != nil {
+				return nil, err
+			}
+			lm.stats.Replacements++
+		}
+	}
+
+	nl, refs, err := cover.BuildNetlist(lm.sub, func(v logic.NodeID) *match.Match {
+		return lm.committed[v]
+	}, lm.sub.Name)
+	if err != nil {
+		return nil, err
+	}
+	// Attach Lily's constructive placement.
+	for id, ref := range refs {
+		if !ref.IsPI {
+			nl.Cells[ref.Index].Pos = lm.hawkPos[id]
+		}
+	}
+	for i, pi := range lm.sub.PIs {
+		_ = i
+		idx := nl.PIIndex(lm.sub.Nodes[pi].Name)
+		if idx >= 0 {
+			nl.PIPos[idx] = lm.pl.Pos[pi]
+		}
+	}
+	for i := range nl.POs {
+		nl.POs[i].Pad = lm.pl.POPads[nl.POs[i].Name]
+	}
+	return &Result{Netlist: nl, Placement: lm.pl, Stats: lm.stats, Trace: lm.trace}, nil
+}
+
+// coneOrder returns PO indices in processing order: the greedy minimum-
+// row-sum ordering on the exit-line matrix of §3.5, or natural order.
+func (lm *lily) coneOrder() []int {
+	k := len(lm.sub.POs)
+	if !lm.opt.OrderCones || k <= 1 {
+		out := make([]int, k)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	m := lm.sub.ExitLines()
+	remaining := make([]bool, k)
+	for i := range remaining {
+		remaining[i] = true
+	}
+	order := make([]int, 0, k)
+	for len(order) < k {
+		bestI, bestSum := -1, math.MaxInt
+		for i := 0; i < k; i++ {
+			if !remaining[i] {
+				continue
+			}
+			sum := 0
+			for j := 0; j < k; j++ {
+				if remaining[j] && j != i {
+					sum += m[i][j]
+				}
+			}
+			if sum < bestSum {
+				bestI, bestSum = i, sum
+			}
+		}
+		order = append(order, bestI)
+		remaining[bestI] = false
+	}
+	return order
+}
+
+// processCone runs the dynamic programming over one logic cone in reverse
+// depth-first-search order.
+func (lm *lily) processCone(root logic.NodeID) error {
+	lm.reawakened = lm.reawakened[:0]
+	for _, v := range lm.sub.ReverseDFS(root) {
+		nd := lm.sub.Nodes[v]
+		if nd.Kind != logic.KindLogic || lm.state[v] == StateHawk {
+			continue
+		}
+		if lm.state[v] == StateDove {
+			lm.reawakened = append(lm.reawakened, v)
+		}
+		if err := lm.setState(v, StateNestling); err != nil {
+			return err
+		}
+		if err := lm.evaluateNode(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (lm *lily) matchesAt(v logic.NodeID) []*match.Match {
+	ms, ok := lm.matchCache[v]
+	if !ok {
+		ms = lm.mt.AtNode(v)
+		lm.matchCache[v] = ms
+	}
+	return ms
+}
+
+// evaluateNode picks the best match at a nestling.
+func (lm *lily) evaluateNode(v logic.NodeID) error {
+	matches := lm.matchesAt(v)
+	if len(matches) == 0 {
+		return fmt.Errorf("core: node %q has no matches", lm.sub.Nodes[v].Name)
+	}
+	switch lm.opt.Mode {
+	case ModeArea:
+		return lm.evaluateArea(v, matches)
+	default:
+		return lm.evaluateDelay(v, matches)
+	}
+}
+
+// inputPos returns the best-known position of a match input: the committed
+// mapPosition for hawks, the tentative mapPosition for nestlings, the pad
+// position for PIs.
+func (lm *lily) inputPos(vi logic.NodeID) geom.Point {
+	switch {
+	case lm.sub.Nodes[vi].Kind == logic.KindPI:
+		return lm.pl.Pos[vi]
+	case lm.state[vi] == StateHawk:
+		return lm.hawkPos[vi]
+	default:
+		return lm.mapPos[vi]
+	}
+}
+
+// trueFanout is one gate-level consumer of a signal (§3.3).
+type trueFanout struct {
+	node logic.NodeID
+	pos  geom.Point
+	cap  float64
+	hawk bool
+}
+
+// trueFanouts lists the consumers of vi that would exist had mapping
+// stopped now: committed hawks whose match inputs include vi, plus
+// egg/nestling subject fanouts of vi. Non-hawk fanouts covered by the
+// current match (excluded set) are dropped — they are about to disappear
+// into gate(m).
+func (lm *lily) trueFanouts(vi logic.NodeID, excluded map[logic.NodeID]bool) []trueFanout {
+	var out []trueFanout
+	for _, hr := range lm.hawkConsumers[vi] {
+		out = append(out, trueFanout{
+			node: hr.hawk, pos: lm.hawkPos[hr.hawk], cap: hr.gate.InputCap, hawk: true,
+		})
+	}
+	for _, fo := range lm.sub.Fanouts(vi) {
+		st := lm.state[fo]
+		if st != StateEgg && st != StateNestling {
+			continue
+		}
+		if excluded[fo] {
+			continue
+		}
+		out = append(out, trueFanout{
+			node: fo, pos: lm.pl.Pos[fo], cap: lm.baseCap(fo),
+		})
+	}
+	return out
+}
+
+func (lm *lily) baseCap(v logic.NodeID) float64 {
+	if len(lm.sub.Nodes[v].Fanins) == 2 {
+		return lm.lib.Nand2.InputCap
+	}
+	return lm.lib.Inv.InputCap
+}
+
+// matchGeometry computes the candidate gate position and the per-input
+// fanin point sets for a match.
+type matchGeometry struct {
+	gatePos geom.Point
+	// faninPts[i] holds, for distinct input index i, the positions of the
+	// input signal's driver and surviving true fanouts (gate(m) excluded;
+	// added by the cost and load computations).
+	faninPts   map[logic.NodeID][]geom.Point
+	faninFans  map[logic.NodeID][]trueFanout
+	fanoutPts  []geom.Point
+	mergedSet  map[logic.NodeID]bool
+	boundPins  map[logic.NodeID]int // pins of gate(m) bound to each input
+	distinctIn []logic.NodeID
+}
+
+func (lm *lily) geometry(v logic.NodeID, m *match.Match) *matchGeometry {
+	g := &matchGeometry{
+		faninPts:  make(map[logic.NodeID][]geom.Point),
+		faninFans: make(map[logic.NodeID][]trueFanout),
+		mergedSet: make(map[logic.NodeID]bool, len(m.Merged)),
+		boundPins: make(map[logic.NodeID]int),
+	}
+	for _, u := range m.Merged {
+		g.mergedSet[u] = true
+	}
+	for _, vi := range m.Inputs {
+		if g.boundPins[vi] == 0 {
+			g.distinctIn = append(g.distinctIn, vi)
+		}
+		g.boundPins[vi]++
+	}
+	var rects []geom.Rect
+	for _, vi := range g.distinctIn {
+		fans := lm.trueFanouts(vi, g.mergedSet)
+		pts := []geom.Point{lm.inputPos(vi)}
+		for _, tf := range fans {
+			pts = append(pts, tf.pos)
+		}
+		g.faninPts[vi] = pts
+		g.faninFans[vi] = fans
+		rects = append(rects, geom.Enclosing(pts))
+	}
+	// Fanout rectangle: unprocessed subject fanouts of v (eggs, thanks to
+	// the reverse-DFS order), plus PO pads v drives.
+	for _, fo := range lm.sub.Fanouts(v) {
+		if !g.mergedSet[fo] {
+			g.fanoutPts = append(g.fanoutPts, lm.pl.Pos[fo])
+		}
+	}
+	for i, po := range lm.sub.POs {
+		if po == v {
+			g.fanoutPts = append(g.fanoutPts, lm.pl.POPads[lm.sub.PONames[i]])
+		}
+	}
+	if len(g.fanoutPts) > 0 {
+		rects = append(rects, geom.Enclosing(g.fanoutPts))
+	}
+
+	switch lm.opt.Update {
+	case CMOfMerged:
+		pts := make([]geom.Point, 0, len(m.Merged))
+		for _, u := range m.Merged {
+			pts = append(pts, lm.pl.Pos[u])
+		}
+		g.gatePos = geom.Centroid(pts)
+	case MedianFans:
+		g.gatePos = wire.MedianPoint(rects)
+	default:
+		g.gatePos = wire.CenterOfMassPoint(rects)
+	}
+	return g
+}
+
+// wireIncrement estimates the added wire length of connecting gate(m) to
+// input vi (§3.4): the net enclosing the driver, its surviving true
+// fanouts, and gate(m), estimated by the configured model and divided by
+// the sink count to avoid double-charging shared nets.
+func (lm *lily) wireIncrement(g *matchGeometry, vi logic.NodeID) float64 {
+	pts := append(append([]geom.Point(nil), g.faninPts[vi]...), g.gatePos)
+	sinks := len(g.faninFans[vi]) + 1
+	return wire.NetLength(lm.opt.WireModel, pts) / float64(sinks)
+}
+
+// evaluateArea implements the §3 cost: aCost(v,m) plus λ-weighted routing
+// area (wire length × routing pitch), both recursively accumulated.
+func (lm *lily) evaluateArea(v logic.NodeID, matches []*match.Match) error {
+	bestCost := math.Inf(1)
+	var bm *match.Match
+	var bmPos geom.Point
+	var bmW, bmA float64
+	for _, m := range matches {
+		g := lm.geometry(v, m)
+		area := m.Gate.Area
+		wlen := 0.0
+		feasible := true
+		for _, vi := range g.distinctIn {
+			wlen += lm.wireIncrement(g, vi)
+			switch {
+			case lm.sub.Nodes[vi].Kind == logic.KindPI:
+			case lm.state[vi] == StateHawk:
+				// Committed: its area and wiring are already paid for.
+			default:
+				if lm.best[vi] == nil {
+					feasible = false
+					break
+				}
+				area += lm.areaSum[vi]
+				wlen += lm.wCost[vi]
+			}
+		}
+		if !feasible {
+			continue
+		}
+		cost := area + lm.opt.WireWeight*lm.lib.WirePitch*wlen
+		if cost < bestCost {
+			bestCost, bm, bmPos, bmW, bmA = cost, m, g.gatePos, wlen, area
+		}
+	}
+	if bm == nil {
+		for _, m := range matches {
+			g := lm.geometry(v, m)
+			fmt.Printf("DBG %s gate=%s gatePos=%v inputs=%v states=", lm.sub.Nodes[v].Name, m.Gate.Name, g.gatePos, m.Inputs)
+			for _, vi := range m.Inputs {
+				fmt.Printf("%v/%v/best=%v ", lm.state[vi], lm.inputPos(vi), lm.best[vi] != nil)
+			}
+			fmt.Println()
+			break
+		}
+		return fmt.Errorf("core: no feasible match at %q", lm.sub.Nodes[v].Name)
+	}
+	lm.best[v] = bm
+	lm.cost[v] = bestCost
+	lm.wCost[v] = bmW
+	lm.areaSum[v] = bmA
+	lm.mapPos[v] = bmPos
+	return nil
+}
+
+// evaluateDelay implements the §4.4 procedure: for each candidate match the
+// arrival times of its inputs are recomputed under the now-known load
+// (gate type and position of the match), block arrival times are formed at
+// the match, its output load is estimated from the base-function fanouts,
+// and the match with the earliest output arrival wins.
+func (lm *lily) evaluateDelay(v logic.NodeID, matches []*match.Match) error {
+	bestArr := timing.Arrival{Rise: math.Inf(1), Fall: math.Inf(1)}
+	bestArea := math.Inf(1)
+	var bm *match.Match
+	var bmPos geom.Point
+	var bmBlock *timing.BlockArrival
+	for _, m := range matches {
+		g := lm.geometry(v, m)
+		// Step 1: recompute input arrivals under the current load.
+		inArr := make([]timing.Arrival, len(m.Inputs))
+		area := m.Gate.Area
+		feasible := true
+		arrOf := make(map[logic.NodeID]timing.Arrival, len(g.distinctIn))
+		for _, vi := range g.distinctIn {
+			if lm.sub.Nodes[vi].Kind == logic.KindPI {
+				arrOf[vi] = timing.Arrival{}
+				continue
+			}
+			var block *timing.BlockArrival
+			switch lm.state[vi] {
+			case StateHawk:
+				block = lm.hawkBlock[vi]
+			default:
+				block = lm.blockA[vi]
+				if lm.best[vi] == nil {
+					feasible = false
+				}
+				area += lm.areaSum[vi]
+			}
+			if !feasible || block == nil {
+				feasible = false
+				break
+			}
+			load := lm.inputLoad(g, vi, m)
+			arrOf[vi] = block.Output(load)
+		}
+		if !feasible {
+			continue
+		}
+		for pin, vi := range m.Inputs {
+			inArr[pin] = arrOf[vi]
+		}
+		// Steps 2–4: block arrivals at gate(m), output load from the base
+		// fanouts, output arrival.
+		block := timing.NewBlockArrival(m.Gate, inArr)
+		outLoad := lm.outputLoad(v, g)
+		out := block.Output(outLoad)
+		if out.Max() < bestArr.Max()-1e-12 ||
+			(math.Abs(out.Max()-bestArr.Max()) <= 1e-12 && area < bestArea) {
+			bestArr, bestArea, bm, bmPos, bmBlock = out, area, m, g.gatePos, block
+		}
+	}
+	if bm == nil {
+		return fmt.Errorf("core: no feasible match at %q", lm.sub.Nodes[v].Name)
+	}
+	lm.best[v] = bm
+	lm.areaSum[v] = bestArea
+	lm.mapPos[v] = bmPos
+	lm.blockA[v] = bmBlock
+	return nil
+}
+
+// inputLoad computes the load seen at input vi's driver when match m is
+// present (§4.4 step 1): pin capacitances of the surviving true fanouts
+// plus gate(m)'s pins bound to vi, plus the positional wiring capacitance.
+func (lm *lily) inputLoad(g *matchGeometry, vi logic.NodeID, m *match.Match) float64 {
+	caps := float64(g.boundPins[vi]) * m.Gate.InputCap
+	for _, tf := range g.faninFans[vi] {
+		caps += tf.cap
+	}
+	pts := append(append([]geom.Point(nil), g.faninPts[vi]...), g.gatePos)
+	x, y := wire.LengthXY(lm.opt.WireModel, pts)
+	return caps + lm.lib.WireCapH*x + lm.lib.WireCapV*y
+}
+
+// outputLoad computes the load at the match output from the base-function
+// fanouts of v (§4.3: "we instead use the nodes in the N_inchoate as the
+// fanouts"), unless a previous pass recorded the realized load.
+func (lm *lily) outputLoad(v logic.NodeID, g *matchGeometry) float64 {
+	if cl, ok := lm.loadHints[v]; ok {
+		return cl
+	}
+	return lm.estimatedOutputLoad(g)
+}
+
+func (lm *lily) estimatedOutputLoad(g *matchGeometry) float64 {
+	caps := 0.0
+	pts := []geom.Point{g.gatePos}
+	for _, p := range g.fanoutPts {
+		pts = append(pts, p)
+	}
+	for range g.fanoutPts {
+		caps += lm.lib.Nand2.InputCap
+	}
+	x, y := wire.LengthXY(lm.opt.WireModel, pts)
+	return caps + lm.lib.WireCapH*x + lm.lib.WireCapV*y
+}
+
+// commitCone freezes the mapping decisions of a finished cone: needed
+// nodes become hawks (recording the consumers of their input signals),
+// covered interior nodes become doves.
+func (lm *lily) commitCone(root logic.NodeID) error {
+	needed, err := cover.NeededSet(lm.sub, func(v logic.NodeID) *match.Match {
+		if lm.state[v] == StateHawk {
+			return lm.committed[v]
+		}
+		return lm.best[v]
+	}, []logic.NodeID{root})
+	if err != nil {
+		return err
+	}
+	// Deterministic commit order.
+	ordered := make([]logic.NodeID, 0, len(needed))
+	for v := range needed {
+		ordered = append(ordered, v)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+
+	var fresh []logic.NodeID
+	for _, v := range ordered {
+		if lm.state[v] == StateHawk {
+			continue
+		}
+		fresh = append(fresh, v)
+		if err := lm.setState(v, StateHawk); err != nil {
+			return err
+		}
+		lm.committed[v] = lm.best[v]
+		lm.hawkPos[v] = lm.mapPos[v]
+		lm.hawkBlock[v] = lm.blockA[v]
+		lm.stats.Hawks++
+		if lm.everDove[v] {
+			lm.stats.Reincarnations++
+		}
+		for _, vi := range dedupIDs(lm.best[v].Inputs) {
+			lm.hawkConsumers[vi] = append(lm.hawkConsumers[vi], hawkRef{hawk: v, gate: lm.best[v].Gate})
+		}
+	}
+	// Doves: interior nodes of freshly committed matches.
+	for _, v := range fresh {
+		for _, u := range lm.committed[v].Merged[1:] {
+			if lm.state[u] == StateHawk {
+				continue // duplicated: exists as a gate and inside another
+			}
+			if lm.state[u] == StateDove {
+				continue
+			}
+			if err := lm.setState(u, StateDove); err != nil {
+				return err
+			}
+			lm.everDove[u] = true
+			lm.stats.Doves++
+		}
+	}
+	// Prior doves re-evaluated this cone but claimed by neither a match
+	// nor a merge keep their old fate: they remain merged inside the hawk
+	// that consumed them in an earlier cone.
+	for _, v := range lm.reawakened {
+		if lm.state[v] == StateNestling {
+			if err := lm.setState(v, StateDove); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// recordedLoads extracts the realized output load of every mapped subject
+// node from a finished delay pass: fanout pin capacitances plus the wiring
+// capacitance of the net at its constructive positions.
+func recordedLoads(sub *logic.Network, lib *library.Library, first *Result, model wire.Model) map[logic.NodeID]float64 {
+	nl := first.Netlist
+	loads := make(map[logic.NodeID]float64, len(nl.Cells))
+	for _, net := range nl.Nets() {
+		if net.Driver.IsPI {
+			continue
+		}
+		cl := 0.0
+		for _, s := range net.Sinks {
+			cl += nl.Cells[s.Cell].Gate.InputCap
+		}
+		x, y := wire.LengthXY(model, nl.NetPins(net))
+		cl += lib.WireCapH*x + lib.WireCapV*y
+		nd := sub.NodeByName(nl.Cells[net.Driver.Index].Name)
+		if nd != nil {
+			loads[nd.ID] = cl
+		}
+	}
+	return loads
+}
+
+func dedupIDs(ids []logic.NodeID) []logic.NodeID {
+	seen := make(map[logic.NodeID]bool, len(ids))
+	out := make([]logic.NodeID, 0, len(ids))
+	for _, id := range ids {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"lily/internal/geom"
+	"lily/internal/library"
+	"lily/internal/logic"
+	"lily/internal/match"
+	"lily/internal/place"
+	"lily/internal/timing"
+	"lily/internal/wire"
+)
+
+// fixture builds a hand-placed subject graph:
+//
+//	a(0,0)  b(10,0) -> x = NAND(a,b) -> PO "x" pad (20,5)
+//	              \--> y = INV(b)    -> PO "y" pad (20,10)
+func fixture(t *testing.T) (*logic.Network, *lily) {
+	t.Helper()
+	sub := logic.New("fix")
+	a := sub.AddPI("a")
+	b := sub.AddPI("b")
+	x := sub.AddLogic("x", []logic.NodeID{a.ID, b.ID}, logic.NandSOP(2))
+	y := sub.AddLogic("y", []logic.NodeID{b.ID}, logic.NotSOP())
+	sub.MarkPO(x.ID, "x")
+	sub.MarkPO(y.ID, "y")
+
+	pl := &place.Result{
+		Pos: map[logic.NodeID]geom.Point{
+			a.ID: {X: 0, Y: 0},
+			b.ID: {X: 10, Y: 0},
+			x.ID: {X: 5, Y: 5},
+			y.ID: {X: 12, Y: 8},
+		},
+		POPads: map[string]geom.Point{
+			"x": {X: 20, Y: 5},
+			"y": {X: 20, Y: 10},
+		},
+		Die: geom.Enclosing([]geom.Point{{X: 0, Y: 0}, {X: 20, Y: 10}}),
+	}
+	lib := library.Big()
+	n := len(sub.Nodes)
+	lm := &lily{
+		sub: sub, lib: lib, opt: DefaultOptions(ModeArea), pl: pl,
+		mt:            match.NewMatcher(sub, lib),
+		state:         make([]State, n),
+		best:          make([]*match.Match, n),
+		cost:          make([]float64, n),
+		wCost:         make([]float64, n),
+		areaSum:       make([]float64, n),
+		mapPos:        make([]geom.Point, n),
+		blockA:        make([]*timing.BlockArrival, n),
+		committed:     make([]*match.Match, n),
+		hawkPos:       make([]geom.Point, n),
+		hawkBlock:     make([]*timing.BlockArrival, n),
+		hawkConsumers: make(map[logic.NodeID][]hawkRef),
+		matchCache:    make(map[logic.NodeID][]*match.Match),
+		everDove:      make([]bool, n),
+	}
+	return sub, lm
+}
+
+func nand2MatchAt(t *testing.T, lm *lily, v logic.NodeID) *match.Match {
+	t.Helper()
+	for _, m := range lm.matchesAt(v) {
+		if m.Gate.Name == "nand2" {
+			return m
+		}
+	}
+	t.Fatal("no nand2 match")
+	return nil
+}
+
+// Fig 3.1: the fanin rectangle of input a for the match at x encloses a's
+// driver and its surviving true fanouts; the fanout rectangle holds the PO
+// pad x drives.
+func TestFaninRectanglesConstruction(t *testing.T) {
+	sub, lm := fixture(t)
+	x := sub.NodeByName("x").ID
+	lm.state[x] = StateNestling
+	m := nand2MatchAt(t, lm, x)
+	g := lm.geometry(x, m)
+
+	if len(g.distinctIn) != 2 {
+		t.Fatalf("distinct inputs = %v", g.distinctIn)
+	}
+	aID := sub.NodeByName("a").ID
+	bID := sub.NodeByName("b").ID
+	// a fans out only to x, which the match covers: its fanin point set is
+	// just a's own position.
+	if pts := g.faninPts[aID]; len(pts) != 1 || pts[0] != (geom.Point{X: 0, Y: 0}) {
+		t.Errorf("fanin pts of a = %v", pts)
+	}
+	// b also feeds y (an egg outside the match): its set includes y's
+	// placePosition.
+	pts := g.faninPts[bID]
+	if len(pts) != 2 {
+		t.Fatalf("fanin pts of b = %v", pts)
+	}
+	hasY := false
+	for _, p := range pts {
+		if p == (geom.Point{X: 12, Y: 8}) {
+			hasY = true
+		}
+	}
+	if !hasY {
+		t.Errorf("b's rectangle misses true fanout y: %v", pts)
+	}
+	// Fanout rectangle: x drives only the PO pad.
+	if len(g.fanoutPts) != 1 || g.fanoutPts[0] != (geom.Point{X: 20, Y: 5}) {
+		t.Errorf("fanout pts = %v", g.fanoutPts)
+	}
+}
+
+// §3.4: the wire increment divides the estimated net length by the sink
+// count, and includes the candidate gate position.
+func TestWireIncrementAccounting(t *testing.T) {
+	sub, lm := fixture(t)
+	x := sub.NodeByName("x").ID
+	lm.state[x] = StateNestling
+	m := nand2MatchAt(t, lm, x)
+	g := lm.geometry(x, m)
+	aID := sub.NodeByName("a").ID
+	inc := lm.wireIncrement(g, aID)
+	// Net: a(0,0) + gate position; single sink -> full net length.
+	pts := append(append([]geom.Point(nil), g.faninPts[aID]...), g.gatePos)
+	want := wire.NetLength(lm.opt.WireModel, pts)
+	if math.Abs(inc-want) > 1e-9 {
+		t.Errorf("increment = %v, want %v", inc, want)
+	}
+	// For b there are two sinks (the match and y): charged half.
+	bID := sub.NodeByName("b").ID
+	incB := lm.wireIncrement(g, bID)
+	ptsB := append(append([]geom.Point(nil), g.faninPts[bID]...), g.gatePos)
+	wantB := wire.NetLength(lm.opt.WireModel, ptsB) / 2
+	if math.Abs(incB-wantB) > 1e-9 {
+		t.Errorf("increment(b) = %v, want %v", incB, wantB)
+	}
+}
+
+// §3.2: each update rule yields a sensible candidate position inside the
+// region spanned by the match's environment.
+func TestUpdateRulePositions(t *testing.T) {
+	sub, lm := fixture(t)
+	x := sub.NodeByName("x").ID
+	lm.state[x] = StateNestling
+	m := nand2MatchAt(t, lm, x)
+	span := geom.Enclosing([]geom.Point{{X: 0, Y: 0}, {X: 20, Y: 10}})
+	for _, rule := range []UpdateRule{CMOfFans, CMOfMerged, MedianFans} {
+		lm.opt.Update = rule
+		g := lm.geometry(x, m)
+		if !span.Contains(g.gatePos) {
+			t.Errorf("%v: gate position %v outside environment", rule, g.gatePos)
+		}
+	}
+	// CM-of-Merged with a single covered node lands exactly on its
+	// placePosition.
+	lm.opt.Update = CMOfMerged
+	g := lm.geometry(x, m)
+	if g.gatePos != (geom.Point{X: 5, Y: 5}) {
+		t.Errorf("cm-of-merged = %v, want the node's placePosition", g.gatePos)
+	}
+}
+
+// trueFanouts must switch from placePositions to mapPositions when a
+// consumer becomes a hawk (§3.3).
+func TestTrueFanoutsUseHawkPositions(t *testing.T) {
+	sub, lm := fixture(t)
+	bID := sub.NodeByName("b").ID
+	yID := sub.NodeByName("y").ID
+	// Before commitment: y is an egg at its placePosition.
+	fans := lm.trueFanouts(bID, nil)
+	if len(fans) != 2 { // x and y
+		t.Fatalf("true fanouts of b = %d", len(fans))
+	}
+	// Commit y as a hawk consuming b at a new mapPosition.
+	var invMatch *match.Match
+	for _, m := range lm.matchesAt(yID) {
+		if m.Gate.Name == "inv" {
+			invMatch = m
+		}
+	}
+	lm.state[yID] = StateHawk
+	lm.committed[yID] = invMatch
+	lm.hawkPos[yID] = geom.Point{X: 3, Y: 3}
+	lm.hawkConsumers[bID] = append(lm.hawkConsumers[bID], hawkRef{hawk: yID, gate: invMatch.Gate})
+	fans = lm.trueFanouts(bID, nil)
+	foundHawk := false
+	for _, tf := range fans {
+		if tf.hawk {
+			foundHawk = true
+			if tf.pos != (geom.Point{X: 3, Y: 3}) {
+				t.Errorf("hawk fanout at %v, want mapPosition (3,3)", tf.pos)
+			}
+			if tf.cap != invMatch.Gate.InputCap {
+				t.Errorf("hawk cap = %v", tf.cap)
+			}
+		}
+	}
+	if !foundHawk {
+		t.Error("hawk consumer not reported as true fanout")
+	}
+}

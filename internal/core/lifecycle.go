@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+
+	"lily/internal/logic"
+)
+
+// State is a subject-graph node's position in the life cycle of Figure 2.2:
+// an egg has not been visited; a nestling has been visited in the current
+// cone but not yet resolved; a hawk is the sink of a committed match and
+// will appear in the final network; a dove has been merged into a hawk and
+// will not — unless logic duplication reincarnates it in a later cone.
+type State byte
+
+const (
+	// StateEgg marks an unvisited node.
+	StateEgg State = iota
+	// StateNestling marks a node visited in the current cone.
+	StateNestling
+	// StateHawk marks a committed match sink.
+	StateHawk
+	// StateDove marks a node merged into a hawk.
+	StateDove
+)
+
+func (s State) String() string {
+	switch s {
+	case StateEgg:
+		return "egg"
+	case StateNestling:
+		return "nestling"
+	case StateHawk:
+		return "hawk"
+	default:
+		return "dove"
+	}
+}
+
+// Transition is one recorded life-cycle step, kept for tests and stats.
+type Transition struct {
+	Node logic.NodeID
+	From State
+	To   State
+}
+
+// LifecycleStats summarizes the mapping run.
+type LifecycleStats struct {
+	Hawks          int // nodes in the final network
+	Doves          int // nodes merged away
+	Reincarnations int // doves that re-entered processing (logic duplication)
+	ConesProcessed int
+	Replacements   int // global re-placements of the partially mapped network
+}
+
+func (s LifecycleStats) String() string {
+	return fmt.Sprintf("hawks=%d doves=%d reincarnations=%d cones=%d",
+		s.Hawks, s.Doves, s.Reincarnations, s.ConesProcessed)
+}
+
+// legalTransitions encodes the automaton of Figure 2.2. Dove → nestling is
+// the reincarnation arc (the paper routes it through egg; the intermediate
+// egg state is instantaneous and not observable).
+var legalTransitions = map[[2]State]bool{
+	{StateEgg, StateNestling}:      true,
+	{StateNestling, StateHawk}:     true,
+	{StateNestling, StateDove}:     true,
+	{StateDove, StateNestling}:     true, // reincarnation via egg
+	{StateDove, StateHawk}:         true, // merged node needed by a later cone commit
+	{StateNestling, StateNestling}: true, // revisited within overlapping cones
+}
+
+// record validates and logs a transition.
+func (lm *lily) setState(v logic.NodeID, to State) error {
+	from := lm.state[v]
+	if from == to {
+		return nil
+	}
+	if !legalTransitions[[2]State{from, to}] {
+		return fmt.Errorf("core: illegal life-cycle transition %v -> %v at node %d", from, to, v)
+	}
+	lm.state[v] = to
+	if lm.trace != nil {
+		lm.trace = append(lm.trace, Transition{Node: v, From: from, To: to})
+	}
+	return nil
+}

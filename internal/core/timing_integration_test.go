@@ -1,0 +1,121 @@
+package core
+
+import (
+	"testing"
+
+	"lily/internal/bench"
+	"lily/internal/decomp"
+	"lily/internal/library"
+	"lily/internal/netlist"
+	"lily/internal/timing"
+)
+
+// lilyNetlist maps a benchmark with Lily (delay mode) so the netlist
+// carries realistic positions.
+func lilyNetlist(t *testing.T, name string) *netlist.Netlist {
+	t.Helper()
+	p, ok := bench.ProfileByName(name)
+	if !ok {
+		t.Fatalf("no profile %s", name)
+	}
+	src := bench.Generate(p)
+	res, err := decomp.Premap(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lres, err := Map(res.Inchoate, library.Big(), DefaultOptions(ModeDelay))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lres.Netlist
+}
+
+// STA invariants over a real mapped netlist: arrivals are finite and
+// strictly increasing across every gate, and the critical PO carries the
+// max delay.
+func TestAnalyzeInvariantsOnMappedNetlist(t *testing.T) {
+	lib := library.Big()
+	nl := lilyNetlist(t, "C432")
+	res, err := timing.Analyze(nl, lib, timing.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxDelay <= 0 {
+		t.Fatal("non-positive max delay")
+	}
+	refArr := func(r netlist.Ref) timing.Arrival {
+		if r.IsPI {
+			return timing.Arrival{}
+		}
+		return res.CellArrival[r.Index]
+	}
+	for ci, c := range nl.Cells {
+		out := res.CellArrival[ci]
+		if out.Rise < 0 || out.Fall < 0 {
+			t.Fatalf("cell %s negative arrival %+v", c.Name, out)
+		}
+		worstIn := 0.0
+		for _, r := range c.Inputs {
+			if a := refArr(r).Max(); a > worstIn {
+				worstIn = a
+			}
+		}
+		if out.Max() <= worstIn {
+			t.Fatalf("cell %s output %v not after inputs %v", c.Name, out.Max(), worstIn)
+		}
+	}
+	worst := 0.0
+	for _, po := range nl.POs {
+		if a := refArr(po.Driver).Max(); a > worst {
+			worst = a
+		}
+	}
+	if worst != res.MaxDelay {
+		t.Errorf("max delay %v != worst PO arrival %v", res.MaxDelay, worst)
+	}
+}
+
+// Loads reported by the analyzer must be positive for every driving cell.
+func TestLoadsPositiveOnMappedNetlist(t *testing.T) {
+	lib := library.Big()
+	nl := lilyNetlist(t, "misex1")
+	res, err := timing.Analyze(nl, lib, timing.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	driven := make([]bool, len(nl.Cells))
+	for _, c := range nl.Cells {
+		for _, r := range c.Inputs {
+			if !r.IsPI {
+				driven[r.Index] = true
+			}
+		}
+	}
+	for _, po := range nl.POs {
+		if !po.Driver.IsPI {
+			driven[po.Driver.Index] = true
+		}
+	}
+	for ci, d := range driven {
+		if d && res.CellLoad[ci] <= 0 {
+			t.Errorf("cell %s drives a net with load %v", nl.Cells[ci].Name, res.CellLoad[ci])
+		}
+	}
+}
+
+// Slack on a real netlist: worst slack equals period minus max delay.
+func TestSlackOnMappedNetlist(t *testing.T) {
+	lib := library.Big()
+	nl := lilyNetlist(t, "b9")
+	res, err := timing.Analyze(nl, lib, timing.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := timing.Slack(nl, lib, res, res.MaxDelay+3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := rep.WorstSlack - 3; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("worst slack %v, want 3", rep.WorstSlack)
+	}
+}

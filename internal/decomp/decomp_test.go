@@ -1,0 +1,208 @@
+package decomp
+
+import (
+	"math/rand"
+	"testing"
+
+	"lily/internal/bench"
+	"lily/internal/geom"
+	"lily/internal/logic"
+)
+
+// evalBoth simulates src and its premapped form on the same random vectors
+// and fails the test on any mismatch.
+func evalBoth(t *testing.T, src, sub *logic.Network, trials int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for k := 0; k < trials; k++ {
+		in := make(map[string]bool, len(src.PIs))
+		for _, pi := range src.PIs {
+			in[src.Nodes[pi].Name] = rng.Intn(2) == 1
+		}
+		want, err := src.Eval(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sub.Eval(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name := range want {
+			if want[name] != got[name] {
+				t.Fatalf("trial %d: output %s differs (src %v, subject %v)",
+					k, name, want[name], got[name])
+			}
+		}
+	}
+}
+
+func TestPremapAdder(t *testing.T) {
+	src := logic.New("adder")
+	a := src.AddPI("a")
+	b := src.AddPI("b")
+	cin := src.AddPI("cin")
+	sum := src.AddLogic("sum", []logic.NodeID{a.ID, b.ID, cin.ID}, logic.XorSOP(3))
+	maj := logic.NewSOP(3)
+	maj.AddCube(logic.Cube{logic.LitPos, logic.LitPos, logic.LitDC})
+	maj.AddCube(logic.Cube{logic.LitPos, logic.LitDC, logic.LitPos})
+	maj.AddCube(logic.Cube{logic.LitDC, logic.LitPos, logic.LitPos})
+	cout := src.AddLogic("cout", []logic.NodeID{a.ID, b.ID, cin.ID}, maj)
+	src.MarkPO(sum.ID, "sum")
+	src.MarkPO(cout.ID, "cout")
+
+	res, err := Premap(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckSubjectGraph(res.Inchoate); err != nil {
+		t.Fatal(err)
+	}
+	evalBoth(t, src, res.Inchoate, 8, 1)
+}
+
+func TestPremapBenchmarksEquivalent(t *testing.T) {
+	for _, name := range []string{"misex1", "b9", "C432"} {
+		p, _ := bench.ProfileByName(name)
+		src := bench.Generate(p)
+		res, err := Premap(src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := CheckSubjectGraph(res.Inchoate); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		evalBoth(t, src, res.Inchoate, 20, int64(len(name)))
+	}
+}
+
+func TestPremapExpansionScale(t *testing.T) {
+	// The paper's C5315 premaps to roughly 1900 base gates; our generator
+	// plus decomposer should land in the same regime (1200-3200).
+	p, _ := bench.ProfileByName("C5315")
+	src := bench.Generate(p)
+	res, err := Premap(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := res.Inchoate.NumLogic()
+	if n < 1200 || n > 3200 {
+		t.Errorf("C5315 inchoate size = %d, want ~1900", n)
+	}
+}
+
+func TestPremapConstants(t *testing.T) {
+	src := logic.New("consts")
+	a := src.AddPI("a")
+	one := src.AddLogic("one", nil, logic.ConstSOP(true))
+	zero := src.AddLogic("zero", nil, logic.ConstSOP(false))
+	inv := src.AddLogic("inv", []logic.NodeID{a.ID}, logic.NotSOP())
+	src.MarkPO(one.ID, "one")
+	src.MarkPO(zero.ID, "zero")
+	src.MarkPO(inv.ID, "inv")
+	res, err := Premap(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evalBoth(t, src, res.Inchoate, 2, 3)
+}
+
+func TestPremapStructuralHashing(t *testing.T) {
+	// Two nodes computing the same AND over the same fanins must share
+	// subject-graph structure.
+	src := logic.New("shared")
+	a := src.AddPI("a")
+	b := src.AddPI("b")
+	x := src.AddLogic("x", []logic.NodeID{a.ID, b.ID}, logic.AndSOP(2))
+	y := src.AddLogic("y", []logic.NodeID{a.ID, b.ID}, logic.AndSOP(2))
+	src.MarkPO(x.ID, "x")
+	src.MarkPO(y.ID, "y")
+	res, err := Premap(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Root[x.ID] != res.Root[y.ID] {
+		t.Error("identical nodes not hashed together")
+	}
+	// AND2 = NAND2 + INV: exactly two logic nodes.
+	if got := res.Inchoate.NumLogic(); got != 2 {
+		t.Errorf("subject graph has %d nodes, want 2", got)
+	}
+}
+
+func TestPremapPlacedEquivalent(t *testing.T) {
+	src := bench.Random(11, 12, 6, 60, 4)
+	pos := make(map[logic.NodeID]geom.Point)
+	rng := rand.New(rand.NewSource(5))
+	for _, nd := range src.Nodes {
+		if nd != nil {
+			pos[nd.ID] = geom.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+		}
+	}
+	res, err := PremapPlaced(src, pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckSubjectGraph(res.Inchoate); err != nil {
+		t.Fatal(err)
+	}
+	evalBoth(t, src, res.Inchoate, 20, 6)
+}
+
+func TestPremapPlacedRequiresPositions(t *testing.T) {
+	src := bench.Random(1, 4, 2, 10, 3)
+	if _, err := PremapPlaced(src, nil); err == nil {
+		t.Error("expected error without positions")
+	}
+}
+
+func TestSpatialOrderClusters(t *testing.T) {
+	// Four leaves: two on the far left, two on the far right. After
+	// spatial ordering, each pair must be adjacent so the balanced tree
+	// keeps clusters together (Fig 1.1b).
+	leaves := []leaf{
+		{id: 1, pos: geom.Point{X: 0, Y: 0}},
+		{id: 2, pos: geom.Point{X: 100, Y: 1}},
+		{id: 3, pos: geom.Point{X: 1, Y: 2}},
+		{id: 4, pos: geom.Point{X: 101, Y: 3}},
+	}
+	spatialOrder(leaves, true)
+	left := map[logic.NodeID]bool{1: true, 3: true}
+	if left[leaves[0].id] != left[leaves[1].id] {
+		t.Errorf("left cluster split: %v", leaves)
+	}
+	if left[leaves[2].id] != left[leaves[3].id] {
+		t.Errorf("right cluster split: %v", leaves)
+	}
+}
+
+func TestInverterCollapses(t *testing.T) {
+	b := newBuilder("t")
+	x := b.net.AddPI("x")
+	i1 := b.Inv(x.ID)
+	i2 := b.Inv(i1)
+	if i2 != x.ID {
+		t.Error("double inversion not collapsed")
+	}
+	if b.Inv(x.ID) != i1 {
+		t.Error("inverter not memoized")
+	}
+	if b.Nand2(x.ID, x.ID) != i1 {
+		t.Error("NAND(x,x) should collapse to the inverter")
+	}
+}
+
+func TestPremapPreservesPONames(t *testing.T) {
+	src := bench.Random(2, 6, 4, 30, 3)
+	res, err := Premap(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Inchoate.POs) != len(src.POs) {
+		t.Fatalf("PO count changed: %d -> %d", len(src.POs), len(res.Inchoate.POs))
+	}
+	for i := range src.POs {
+		if res.Inchoate.PONames[i] != src.PONames[i] {
+			t.Errorf("PO name %d changed: %s -> %s", i, src.PONames[i], res.Inchoate.PONames[i])
+		}
+	}
+}

@@ -1,0 +1,299 @@
+// Package equiv checks functional equivalence between a source Boolean
+// network and a mapped netlist. The primary engine is formal — BDDs over a
+// shared primary-input ordering (package bdd) — with a node budget; when a
+// circuit blows the budget the checker degrades to randomized simulation
+// and reports that the verdict is only statistical.
+package equiv
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"lily/internal/bdd"
+	"lily/internal/logic"
+	"lily/internal/netlist"
+)
+
+// Method records how a verdict was reached.
+type Method int
+
+const (
+	// MethodBDD means the equivalence was proved (or disproved with a
+	// counterexample) formally.
+	MethodBDD Method = iota
+	// MethodSimulation means only randomized simulation was feasible.
+	MethodSimulation
+)
+
+func (m Method) String() string {
+	if m == MethodSimulation {
+		return "simulation"
+	}
+	return "bdd"
+}
+
+// Result is the verdict of a check.
+type Result struct {
+	Equivalent bool
+	Method     Method
+	// FailingOutput names the first differing output when not equivalent.
+	FailingOutput string
+	// Counterexample gives PI values exposing the difference (BDD mode).
+	Counterexample map[string]bool
+	// BDDNodes is the peak node count of the formal check.
+	BDDNodes int
+	// Vectors is the number of simulation vectors used (simulation mode).
+	Vectors int
+}
+
+// Options tunes the checker.
+type Options struct {
+	// MaxBDDNodes is the formal-engine budget (default 2,000,000).
+	MaxBDDNodes int
+	// SimVectors is the randomized fallback's vector count (default 256).
+	SimVectors int
+	// Seed drives the fallback's vector generation.
+	Seed int64
+}
+
+// DefaultOptions returns the standard configuration.
+func DefaultOptions() Options {
+	return Options{MaxBDDNodes: 2_000_000, SimVectors: 256, Seed: 1}
+}
+
+// Check compares the source network with the mapped netlist.
+func Check(src *logic.Network, nl *netlist.Netlist, opt Options) (*Result, error) {
+	if opt.MaxBDDNodes <= 0 {
+		opt.MaxBDDNodes = 2_000_000
+	}
+	if opt.SimVectors <= 0 {
+		opt.SimVectors = 256
+	}
+	piNames := sortedPINames(src)
+	if err := sameInterfaces(src, nl, piNames); err != nil {
+		return nil, err
+	}
+	res, err := checkBDD(src, nl, piNames, opt.MaxBDDNodes)
+	if err == nil {
+		return res, nil
+	}
+	if err != bdd.ErrNodeLimit {
+		return nil, err
+	}
+	return checkSim(src, nl, opt)
+}
+
+func sortedPINames(src *logic.Network) []string {
+	names := make([]string, 0, len(src.PIs))
+	for _, pi := range src.PIs {
+		names = append(names, src.Nodes[pi].Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func sameInterfaces(src *logic.Network, nl *netlist.Netlist, piNames []string) error {
+	for _, name := range piNames {
+		if nl.PIIndex(name) < 0 {
+			return fmt.Errorf("equiv: netlist lacks input %q", name)
+		}
+	}
+	srcPOs := make(map[string]bool, len(src.PONames))
+	for _, n := range src.PONames {
+		srcPOs[n] = true
+	}
+	for _, po := range nl.POs {
+		if !srcPOs[po.Name] {
+			return fmt.Errorf("equiv: netlist output %q not in source", po.Name)
+		}
+	}
+	if len(nl.POs) != len(src.PONames) {
+		return fmt.Errorf("equiv: output counts differ (%d vs %d)", len(nl.POs), len(src.PONames))
+	}
+	return nil
+}
+
+func checkBDD(src *logic.Network, nl *netlist.Netlist, piNames []string, budget int) (*Result, error) {
+	m := bdd.New(len(piNames), budget)
+	varOf := make(map[string]int, len(piNames))
+	for i, n := range piNames {
+		varOf[n] = i
+	}
+	srcPO, err := networkBDDs(m, src, varOf)
+	if err != nil {
+		return nil, err
+	}
+	nlPO, err := netlistBDDs(m, nl, varOf)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Equivalent: true, Method: MethodBDD, BDDNodes: m.NumNodes()}
+	// Deterministic output order.
+	names := make([]string, 0, len(srcPO))
+	for n := range srcPO {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		a, b := srcPO[name], nlPO[name]
+		if a == b {
+			continue
+		}
+		diff, err := m.Xor(a, b)
+		if err != nil {
+			return nil, err
+		}
+		if diff == bdd.False {
+			continue // same function, different refs cannot happen, but be safe
+		}
+		res.Equivalent = false
+		res.FailingOutput = name
+		assign := m.AnySatisfying(diff)
+		cex := make(map[string]bool, len(piNames))
+		for i, n := range piNames {
+			cex[n] = assign[i]
+		}
+		res.Counterexample = cex
+		break
+	}
+	res.BDDNodes = m.NumNodes()
+	return res, nil
+}
+
+// networkBDDs builds PO BDDs for a logic network.
+func networkBDDs(m *bdd.Manager, src *logic.Network, varOf map[string]int) (map[string]bdd.Ref, error) {
+	order, err := src.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	refs := make([]bdd.Ref, len(src.Nodes))
+	for _, id := range order {
+		nd := src.Nodes[id]
+		if nd.Kind == logic.KindPI {
+			r, err := m.Var(varOf[nd.Name])
+			if err != nil {
+				return nil, err
+			}
+			refs[id] = r
+			continue
+		}
+		ins := make([]bdd.Ref, len(nd.Fanins))
+		for i, f := range nd.Fanins {
+			ins[i] = refs[f]
+		}
+		r, err := coverBDD(m, nd.Cover, ins)
+		if err != nil {
+			return nil, err
+		}
+		refs[id] = r
+	}
+	out := make(map[string]bdd.Ref, len(src.POs))
+	for i, po := range src.POs {
+		out[src.PONames[i]] = refs[po]
+	}
+	return out, nil
+}
+
+// netlistBDDs builds PO BDDs for a mapped netlist.
+func netlistBDDs(m *bdd.Manager, nl *netlist.Netlist, varOf map[string]int) (map[string]bdd.Ref, error) {
+	order, err := nl.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	piRef := make([]bdd.Ref, len(nl.PINames))
+	for i, name := range nl.PINames {
+		r, err := m.Var(varOf[name])
+		if err != nil {
+			return nil, err
+		}
+		piRef[i] = r
+	}
+	cellRef := make([]bdd.Ref, len(nl.Cells))
+	refOf := func(r netlist.Ref) bdd.Ref {
+		if r.IsPI {
+			return piRef[r.Index]
+		}
+		return cellRef[r.Index]
+	}
+	for _, ci := range order {
+		c := nl.Cells[ci]
+		ins := make([]bdd.Ref, len(c.Inputs))
+		for i, r := range c.Inputs {
+			ins[i] = refOf(r)
+		}
+		r, err := coverBDD(m, c.Gate.Cover, ins)
+		if err != nil {
+			return nil, err
+		}
+		cellRef[ci] = r
+	}
+	out := make(map[string]bdd.Ref, len(nl.POs))
+	for _, po := range nl.POs {
+		out[po.Name] = refOf(po.Driver)
+	}
+	return out, nil
+}
+
+// coverBDD composes an SOP cover over fanin BDDs.
+func coverBDD(m *bdd.Manager, cover logic.SOP, ins []bdd.Ref) (bdd.Ref, error) {
+	acc := bdd.False
+	for _, cube := range cover.Cubes {
+		term := bdd.True
+		for i, l := range cube {
+			var lit bdd.Ref
+			switch l {
+			case logic.LitDC:
+				continue
+			case logic.LitPos:
+				lit = ins[i]
+			default:
+				nl, err := m.Not(ins[i])
+				if err != nil {
+					return bdd.False, err
+				}
+				lit = nl
+			}
+			t, err := m.And(term, lit)
+			if err != nil {
+				return bdd.False, err
+			}
+			term = t
+		}
+		a, err := m.Or(acc, term)
+		if err != nil {
+			return bdd.False, err
+		}
+		acc = a
+	}
+	return acc, nil
+}
+
+// checkSim is the randomized fallback.
+func checkSim(src *logic.Network, nl *netlist.Netlist, opt Options) (*Result, error) {
+	rng := rand.New(rand.NewSource(opt.Seed))
+	res := &Result{Equivalent: true, Method: MethodSimulation, Vectors: opt.SimVectors}
+	for k := 0; k < opt.SimVectors; k++ {
+		in := make(map[string]bool, len(src.PIs))
+		for _, pi := range src.PIs {
+			in[src.Nodes[pi].Name] = rng.Intn(2) == 1
+		}
+		want, err := src.Eval(in)
+		if err != nil {
+			return nil, err
+		}
+		got, err := nl.Eval(in)
+		if err != nil {
+			return nil, err
+		}
+		for name := range want {
+			if want[name] != got[name] {
+				res.Equivalent = false
+				res.FailingOutput = name
+				res.Counterexample = in
+				return res, nil
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,131 @@
+package equiv
+
+import (
+	"testing"
+
+	"lily/internal/bench"
+	"lily/internal/decomp"
+	"lily/internal/library"
+	"lily/internal/logic"
+	"lily/internal/mis"
+	"lily/internal/netlist"
+)
+
+func mapped(t *testing.T, name string) (*logic.Network, *netlist.Netlist) {
+	t.Helper()
+	p, ok := bench.ProfileByName(name)
+	if !ok {
+		t.Fatalf("no profile %s", name)
+	}
+	src := bench.Generate(p)
+	res, err := decomp.Premap(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := mis.Map(res.Inchoate, library.Big(), mis.DefaultOptions(mis.ModeArea))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src, nl
+}
+
+func TestFormallyEquivalent(t *testing.T) {
+	for _, name := range []string{"misex1", "b9", "C432", "duke2"} {
+		src, nl := mapped(t, name)
+		res, err := Check(src, nl, DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Equivalent {
+			t.Fatalf("%s: mapper output not equivalent! output %s cex %v",
+				name, res.FailingOutput, res.Counterexample)
+		}
+		if res.Method != MethodBDD {
+			t.Errorf("%s: expected a formal verdict, got %v", name, res.Method)
+		}
+		if res.BDDNodes < 3 {
+			t.Errorf("%s: implausible node count %d", name, res.BDDNodes)
+		}
+	}
+}
+
+func TestDetectsInjectedBug(t *testing.T) {
+	src, nl := mapped(t, "misex1")
+	// Failure injection: flip one gate to an almost-identical function.
+	lib := library.Big()
+	for _, c := range nl.Cells {
+		if c.Gate.Name == "nand2" {
+			c.Gate = lib.GateByName("nor2")
+			break
+		}
+	}
+	res, err := Check(src, nl, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Equivalent {
+		t.Fatal("injected bug not detected")
+	}
+	if res.FailingOutput == "" {
+		t.Error("no failing output named")
+	}
+	// The counterexample must actually expose the difference.
+	want, err := src.Eval(res.Counterexample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := nl.Eval(res.Counterexample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want[res.FailingOutput] == got[res.FailingOutput] {
+		t.Error("counterexample does not expose the bug")
+	}
+}
+
+func TestFallbackToSimulation(t *testing.T) {
+	src, nl := mapped(t, "C432")
+	opt := DefaultOptions()
+	opt.MaxBDDNodes = 50 // force the budget failure
+	res, err := Check(src, nl, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Method != MethodSimulation {
+		t.Fatalf("expected simulation fallback, got %v", res.Method)
+	}
+	if !res.Equivalent {
+		t.Error("simulation flagged a correct mapping")
+	}
+	if res.Vectors == 0 {
+		t.Error("no vectors recorded")
+	}
+}
+
+func TestInterfaceMismatchRejected(t *testing.T) {
+	src, nl := mapped(t, "misex1")
+	nl.POs = nl.POs[:len(nl.POs)-1]
+	if _, err := Check(src, nl, DefaultOptions()); err == nil {
+		t.Error("missing output not rejected")
+	}
+}
+
+func TestSimulationDetectsGrossBug(t *testing.T) {
+	src, nl := mapped(t, "misex1")
+	lib := library.Big()
+	// Invert every output driver's function by swapping gates grossly.
+	for _, c := range nl.Cells {
+		if c.Gate.Name == "inv" {
+			c.Gate = lib.Buf
+		}
+	}
+	opt := DefaultOptions()
+	opt.MaxBDDNodes = 50
+	res, err := Check(src, nl, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Equivalent {
+		t.Error("simulation missed a gross bug")
+	}
+}

@@ -1,0 +1,143 @@
+package layout
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"lily/internal/geom"
+	"lily/internal/library"
+	"lily/internal/netlist"
+)
+
+// annealConfig tunes the simulated-annealing refinement.
+type annealConfig struct {
+	moves   int     // proposed moves per temperature step
+	steps   int     // temperature steps
+	t0      float64 // initial temperature as a fraction of mean net HPWL
+	cooling float64 // geometric cooling factor
+	seed    int64
+}
+
+func defaultAnneal() annealConfig {
+	return annealConfig{moves: 400, steps: 60, t0: 0.5, cooling: 0.92, seed: 1}
+}
+
+// annealRows runs a deterministic seeded simulated annealing over the row
+// assignment — the TimberWolf-style refinement of the paper's backend —
+// proposing in-row adjacent swaps and width-compatible inter-row exchanges,
+// accepting uphill moves with Metropolis probability. Rows stay legalized
+// throughout (swaps recompute the affected x positions).
+func annealRows(nl *netlist.Netlist, rows []*row, lib *library.Library, cfg annealConfig) {
+	legalize(nl, rows, lib)
+	nets := nl.Nets()
+	netsOf := make([][]int, len(nl.Cells))
+	for ni, net := range nets {
+		for _, s := range net.Sinks {
+			netsOf[s.Cell] = append(netsOf[s.Cell], ni)
+		}
+		if !net.Driver.IsPI {
+			netsOf[net.Driver.Index] = append(netsOf[net.Driver.Index], ni)
+		}
+	}
+	hp := func(ni int) float64 {
+		return geom.Enclosing(nl.NetPins(nets[ni])).HalfPerimeter()
+	}
+	affected := func(a, b int) []int {
+		seen := make(map[int]bool, len(netsOf[a])+len(netsOf[b]))
+		out := make([]int, 0, len(netsOf[a])+len(netsOf[b]))
+		for _, ni := range netsOf[a] {
+			if !seen[ni] {
+				seen[ni] = true
+				out = append(out, ni)
+			}
+		}
+		for _, ni := range netsOf[b] {
+			if !seen[ni] {
+				seen[ni] = true
+				out = append(out, ni)
+			}
+		}
+		sort.Ints(out) // fixed summation order keeps runs bit-reproducible
+		return out
+	}
+	total := func(ns []int) float64 {
+		t := 0.0
+		for _, ni := range ns {
+			t += hp(ni)
+		}
+		return t
+	}
+
+	// Initial temperature from the mean net length.
+	mean := 0.0
+	for ni := range nets {
+		mean += hp(ni)
+	}
+	if len(nets) > 0 {
+		mean /= float64(len(nets))
+	}
+	temp := cfg.t0 * math.Max(mean, 1)
+	rng := rand.New(rand.NewSource(cfg.seed))
+
+	for step := 0; step < cfg.steps; step++ {
+		for mv := 0; mv < cfg.moves; mv++ {
+			if rng.Intn(2) == 0 {
+				// In-row adjacent swap.
+				r := rows[rng.Intn(len(rows))]
+				if len(r.cells) < 2 {
+					continue
+				}
+				i := rng.Intn(len(r.cells) - 1)
+				a, b := r.cells[i], r.cells[i+1]
+				ns := affected(a, b)
+				before := total(ns)
+				swapInRow(nl, r, i)
+				delta := total(ns) - before
+				if !accept(delta, temp, rng) {
+					swapInRow(nl, r, i)
+				}
+			} else if len(rows) >= 2 {
+				// Inter-row exchange of width-compatible cells.
+				ri := rng.Intn(len(rows) - 1)
+				lower, upper := rows[ri], rows[ri+1]
+				if len(lower.cells) == 0 || len(upper.cells) == 0 {
+					continue
+				}
+				li := rng.Intn(len(lower.cells))
+				a := lower.cells[li]
+				ui := nearestByX(nl, upper, nl.Cells[a].Pos.X)
+				if ui < 0 {
+					continue
+				}
+				b := upper.cells[ui]
+				wa, wb := nl.Cells[a].Gate.Width, nl.Cells[b].Gate.Width
+				if math.Abs(wa-wb) > 0.3*math.Max(wa, wb) {
+					continue
+				}
+				ns := affected(a, b)
+				before := total(ns)
+				pa, pb := nl.Cells[a].Pos, nl.Cells[b].Pos
+				nl.Cells[a].Pos, nl.Cells[b].Pos = pb, pa
+				lower.cells[li], upper.cells[ui] = b, a
+				delta := total(ns) - before
+				if !accept(delta, temp, rng) {
+					nl.Cells[a].Pos, nl.Cells[b].Pos = pa, pb
+					lower.cells[li], upper.cells[ui] = a, b
+				}
+			}
+		}
+		temp *= cfg.cooling
+	}
+	legalize(nl, rows, lib)
+}
+
+func accept(delta, temp float64, rng *rand.Rand) bool {
+	if delta <= 0 {
+		return true
+	}
+	if temp <= 0 {
+		return false
+	}
+	return rng.Float64() < math.Exp(-delta/temp)
+}

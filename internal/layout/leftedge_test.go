@@ -1,0 +1,76 @@
+package layout
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAssignTracksSimple(t *testing.T) {
+	// Two overlapping spans need two tracks; a third disjoint span reuses
+	// track 0.
+	spans := []Span{{0, 10}, {5, 15}, {11, 20}}
+	tracks, n := AssignTracks(spans)
+	if n != 2 {
+		t.Fatalf("tracks = %d, want 2", n)
+	}
+	if tracks[0] == tracks[1] {
+		t.Error("overlapping spans share a track")
+	}
+	if tracks[2] != tracks[0] {
+		t.Error("disjoint span did not reuse track 0")
+	}
+}
+
+func TestAssignTracksValid(t *testing.T) {
+	// No two spans on the same track may overlap (open intervals at the
+	// exact touch point are allowed to share only when strictly apart).
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(40)
+		spans := make([]Span, n)
+		for i := range spans {
+			lo := rng.Float64() * 100
+			spans[i] = Span{lo, lo + rng.Float64()*30}
+		}
+		tracks, _ := AssignTracks(spans)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if tracks[i] != tracks[j] {
+					continue
+				}
+				if spans[i].Lo < spans[j].Hi && spans[j].Lo < spans[i].Hi {
+					t.Fatalf("trial %d: spans %v and %v share track %d",
+						trial, spans[i], spans[j], tracks[i])
+				}
+			}
+		}
+	}
+}
+
+// Property: the left-edge algorithm is optimal for interval graphs — the
+// track count equals the peak density, which validates the chip-height
+// model (channel height = density × pitch) against an actual router.
+func TestLeftEdgeMatchesDensity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		spans := make([]Span, n)
+		for i := range spans {
+			lo := float64(rng.Intn(50))
+			spans[i] = Span{lo, lo + 1 + float64(rng.Intn(30))}
+		}
+		_, tracks := AssignTracks(spans)
+		return tracks == spanDensity(spans)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssignTracksEmpty(t *testing.T) {
+	tracks, n := AssignTracks(nil)
+	if len(tracks) != 0 || n != 0 {
+		t.Error("empty channel not empty")
+	}
+}

@@ -1,0 +1,59 @@
+package layout
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lily/internal/library"
+)
+
+func TestWriteSVG(t *testing.T) {
+	lib := library.Big()
+	nl := misNetlist(t, "misex1")
+	res, err := Place(nl, lib, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSVG(&buf, res, SVGOptions{DrawNets: true, MaxNets: 20}); err != nil {
+		t.Fatal(err)
+	}
+	svg := buf.String()
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Error("not a well-formed SVG document")
+	}
+	// One rect per cell plus the chip outline.
+	if got := strings.Count(svg, "<rect"); got != len(nl.Cells)+1 {
+		t.Errorf("%d rects for %d cells", got, len(nl.Cells))
+	}
+	// One circle per pad.
+	if got := strings.Count(svg, "<circle"); got != len(nl.PINames)+len(nl.POs) {
+		t.Errorf("%d circles for %d pads", got, len(nl.PINames)+len(nl.POs))
+	}
+	// Net paths drawn and capped.
+	paths := strings.Count(svg, "<path")
+	if paths == 0 {
+		t.Error("no nets drawn")
+	}
+	// Titles make cells identifiable.
+	if !strings.Contains(svg, "<title>") {
+		t.Error("no tooltips")
+	}
+}
+
+func TestWriteSVGNoNets(t *testing.T) {
+	lib := library.Big()
+	nl := misNetlist(t, "misex1")
+	res, err := Place(nl, lib, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSVG(&buf, res, SVGOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "<path") {
+		t.Error("nets drawn although disabled")
+	}
+}

@@ -1,0 +1,123 @@
+package library
+
+import "lily/internal/logic"
+
+// expr is the input DSL for gate functions: a tree of AND/OR/NOT over
+// positional pins. It exists only inside this package; gates expose their
+// function as a logic.SOP and their structure as Patterns.
+type expr interface{ isExpr() }
+
+// in is a pin reference.
+type in int
+
+// not negates a sub-expression.
+type not struct{ e expr }
+
+// and is an n-ary conjunction.
+type and []expr
+
+// or is an n-ary disjunction.
+type or []expr
+
+func (in) isExpr()  {}
+func (not) isExpr() {}
+func (and) isExpr() {}
+func (or) isExpr()  {}
+
+func numPins(e expr) int {
+	max := -1
+	var walk func(expr)
+	walk = func(e expr) {
+		switch t := e.(type) {
+		case in:
+			if int(t) > max {
+				max = int(t)
+			}
+		case not:
+			walk(t.e)
+		case and:
+			for _, c := range t {
+				walk(c)
+			}
+		case or:
+			for _, c := range t {
+				walk(c)
+			}
+		}
+	}
+	walk(e)
+	return max + 1
+}
+
+func exprDepth(e expr) int {
+	switch t := e.(type) {
+	case in:
+		return 0
+	case not:
+		return exprDepth(t.e)
+	case and:
+		d := 0
+		for _, c := range t {
+			if cd := exprDepth(c); cd > d {
+				d = cd
+			}
+		}
+		return d + 1
+	case or:
+		d := 0
+		for _, c := range t {
+			if cd := exprDepth(c); cd > d {
+				d = cd
+			}
+		}
+		return d + 1
+	}
+	return 0
+}
+
+func evalExpr(e expr, inVals []bool) bool {
+	switch t := e.(type) {
+	case in:
+		return inVals[t]
+	case not:
+		return !evalExpr(t.e, inVals)
+	case and:
+		for _, c := range t {
+			if !evalExpr(c, inVals) {
+				return false
+			}
+		}
+		return true
+	case or:
+		for _, c := range t {
+			if evalExpr(c, inVals) {
+				return true
+			}
+		}
+		return false
+	}
+	panic("library: unknown expr")
+}
+
+// exprToSOP enumerates the expression into a minterm cover over n pins.
+func exprToSOP(e expr, n int) logic.SOP {
+	s := logic.NewSOP(n)
+	vals := make([]bool, n)
+	for r := 0; r < 1<<n; r++ {
+		for j := 0; j < n; j++ {
+			vals[j] = r&(1<<j) != 0
+		}
+		if evalExpr(e, vals) {
+			c := make(logic.Cube, n)
+			for j := 0; j < n; j++ {
+				if vals[j] {
+					c[j] = logic.LitPos
+				} else {
+					c[j] = logic.LitNeg
+				}
+			}
+			s.AddCube(c)
+		}
+	}
+	return s
+}

@@ -1,0 +1,209 @@
+package logic
+
+import "fmt"
+
+// Cone returns the transitive fanin of root (including root itself, and
+// including PIs) as a set keyed by node ID. This is the "logic cone" K_i of
+// the paper when root is a primary output.
+func (n *Network) Cone(root NodeID) map[NodeID]bool {
+	seen := make(map[NodeID]bool)
+	stack := []NodeID{root}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		for _, f := range n.Nodes[id].Fanins {
+			if !seen[f] {
+				stack = append(stack, f)
+			}
+		}
+	}
+	return seen
+}
+
+// ReverseDFS returns the nodes of the cone rooted at root in reverse
+// depth-first-search order: every node appears after all of its fanins.
+// PIs are included. This is the processing order used by the dynamic
+// programming cover (paper §2: "we start from the primary inputs of the
+// logic cone and recursively process nodes in a reversed depth first search
+// order toward the primary output").
+func (n *Network) ReverseDFS(root NodeID) []NodeID {
+	var order []NodeID
+	seen := make(map[NodeID]bool)
+	type frame struct {
+		id  NodeID
+		idx int
+	}
+	stack := []frame{{root, 0}}
+	seen[root] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		nd := n.Nodes[f.id]
+		if f.idx < len(nd.Fanins) {
+			child := nd.Fanins[f.idx]
+			f.idx++
+			if !seen[child] {
+				seen[child] = true
+				stack = append(stack, frame{child, 0})
+			}
+			continue
+		}
+		order = append(order, f.id)
+		stack = stack[:len(stack)-1]
+	}
+	return order
+}
+
+// Levels returns, for every live node, its logic depth: PIs are level 0 and
+// each logic node is 1 + max(fanin levels).
+func (n *Network) Levels() map[NodeID]int {
+	order, err := n.TopoOrder()
+	if err != nil {
+		panic(err) // Levels is only called on checked networks.
+	}
+	lv := make(map[NodeID]int, len(order))
+	for _, id := range order {
+		nd := n.Nodes[id]
+		if nd.Kind == KindPI {
+			lv[id] = 0
+			continue
+		}
+		max := 0
+		for _, f := range nd.Fanins {
+			if lv[f]+1 > max {
+				max = lv[f] + 1
+			}
+		}
+		lv[id] = max
+	}
+	return lv
+}
+
+// Depth returns the maximum logic level over all POs.
+func (n *Network) Depth() int {
+	lv := n.Levels()
+	max := 0
+	for _, po := range n.POs {
+		if lv[po] > max {
+			max = lv[po]
+		}
+	}
+	return max
+}
+
+// Sweep removes nodes that are not in the transitive fanin of any primary
+// output, and collapses single-input identity (buffer) nodes that are not
+// POs by rewiring their fanouts. It returns the number of nodes removed.
+func (n *Network) Sweep() int {
+	removed := 0
+	// Collapse buffers (single-fanin, positive-unate identity covers).
+	for _, nd := range n.Nodes {
+		if nd == nil || nd.Kind != KindLogic || len(nd.Fanins) != 1 || n.IsPO(nd.ID) {
+			continue
+		}
+		if !EqualFunc(nd.Cover, BufSOP()) {
+			continue
+		}
+		src := nd.Fanins[0]
+		for _, fo := range append([]NodeID(nil), nd.fanouts...) {
+			n.ReplaceFanin(fo, nd.ID, src)
+		}
+	}
+	// Mark reachable from POs.
+	live := make(map[NodeID]bool)
+	for _, po := range n.POs {
+		for id := range n.Cone(po) {
+			live[id] = true
+		}
+	}
+	// Delete dead logic nodes in reverse topological order so fanout lists
+	// drain naturally.
+	order, err := n.TopoOrder()
+	if err != nil {
+		panic(err)
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		nd := n.Node(id)
+		if nd == nil || nd.Kind != KindLogic || live[id] {
+			continue
+		}
+		if len(nd.fanouts) == 0 {
+			n.Delete(id)
+			removed++
+		}
+	}
+	return removed
+}
+
+// ExitLines counts, for each ordered pair of PO cones (i, j), the number of
+// "exit lines" from cone i into cone j: edges from a node inside cone i to
+// a node inside cone j but outside cone i (paper §3.5). The result is the
+// matrix M with M[i][j] = E(K_i, K_j); diagonal entries are zero.
+func (n *Network) ExitLines() [][]int {
+	k := len(n.POs)
+	cones := make([]map[NodeID]bool, k)
+	for i, po := range n.POs {
+		cones[i] = n.Cone(po)
+	}
+	m := make([][]int, k)
+	for i := range m {
+		m[i] = make([]int, k)
+	}
+	for i := 0; i < k; i++ {
+		for id := range cones[i] {
+			for _, fo := range n.Nodes[id].fanouts {
+				if cones[i][fo] {
+					continue // edge stays inside cone i
+				}
+				for j := 0; j < k; j++ {
+					if j != i && cones[j][fo] {
+						m[i][j]++
+					}
+				}
+			}
+		}
+	}
+	return m
+}
+
+// Stats summarizes a network for reporting.
+type Stats struct {
+	PIs, POs, Logic int
+	Literals        int
+	Depth           int
+	MaxFanin        int
+	MaxFanout       int
+}
+
+// Stat computes summary statistics for the network.
+func (n *Network) Stat() Stats {
+	var s Stats
+	s.PIs = len(n.PIs)
+	s.POs = len(n.POs)
+	for _, nd := range n.Nodes {
+		if nd == nil {
+			continue
+		}
+		if nd.Kind == KindLogic {
+			s.Logic++
+			s.Literals += nd.Cover.LiteralCount()
+			if len(nd.Fanins) > s.MaxFanin {
+				s.MaxFanin = len(nd.Fanins)
+			}
+		}
+		if fc := n.FanoutCount(nd.ID); fc > s.MaxFanout {
+			s.MaxFanout = fc
+		}
+	}
+	s.Depth = n.Depth()
+	return s
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("pi=%d po=%d nodes=%d lits=%d depth=%d maxfi=%d maxfo=%d",
+		s.PIs, s.POs, s.Logic, s.Literals, s.Depth, s.MaxFanin, s.MaxFanout)
+}

@@ -1,0 +1,291 @@
+// Package match implements DAGON-style structural matching: it finds every
+// way a library gate's pattern graph can cover a region of the NAND2/INV
+// subject graph rooted at a given node (paper §2). The mappers (packages
+// mis and core) turn these matches into covers by dynamic programming.
+package match
+
+import (
+	"fmt"
+	"sort"
+
+	"lily/internal/decomp"
+	"lily/internal/library"
+	"lily/internal/logic"
+)
+
+// NodeType classifies subject-graph nodes for fast matching.
+type NodeType byte
+
+const (
+	// TypeOther marks nodes that are neither base functions nor PIs.
+	TypeOther NodeType = iota
+	// TypePI marks primary inputs.
+	TypePI
+	// TypeNand2 marks 2-input NAND base nodes.
+	TypeNand2
+	// TypeInv marks inverter base nodes.
+	TypeInv
+)
+
+// Classifier caches the node type of every subject-graph node.
+type Classifier struct {
+	types []NodeType
+}
+
+// Classify computes node types for the network. The network must be a
+// subject graph (only NAND2/INV logic nodes); other nodes are marked
+// TypeOther and never match.
+func Classify(net *logic.Network) *Classifier {
+	c := &Classifier{types: make([]NodeType, len(net.Nodes))}
+	for id, nd := range net.Nodes {
+		if nd == nil {
+			continue
+		}
+		switch {
+		case nd.Kind == logic.KindPI:
+			c.types[id] = TypePI
+		case decomp.IsNand2(net, logic.NodeID(id)):
+			c.types[id] = TypeNand2
+		case decomp.IsInv(net, logic.NodeID(id)):
+			c.types[id] = TypeInv
+		default:
+			c.types[id] = TypeOther
+		}
+	}
+	return c
+}
+
+// Type returns the cached node type.
+func (c *Classifier) Type(id logic.NodeID) NodeType { return c.types[id] }
+
+// Match is one way to implement the subject node rooted at its last Merged
+// entry with a library gate.
+type Match struct {
+	Gate    *library.Gate
+	Pattern *library.Pattern
+	// Inputs lists the subject nodes bound to each gate input pin
+	// (positional; these are the paper's inputs(v, m)).
+	Inputs []logic.NodeID
+	// Merged lists the subject nodes covered by the pattern's internal
+	// NAND2/INV nodes, root first (the paper's merged(v, m) including v).
+	Merged []logic.NodeID
+}
+
+// Root returns the subject node the match implements.
+func (m *Match) Root() logic.NodeID { return m.Merged[0] }
+
+func (m *Match) String() string {
+	return fmt.Sprintf("%s@%d inputs=%v merged=%v", m.Gate.Name, m.Root(), m.Inputs, m.Merged)
+}
+
+// Matcher enumerates matches over one subject graph.
+type Matcher struct {
+	net *logic.Network
+	lib *library.Library
+	cls *Classifier
+
+	// scratch state for the backtracking search
+	bind     []logic.NodeID
+	merged   []logic.NodeID
+	inMerged map[logic.NodeID]bool
+}
+
+// NewMatcher builds a matcher for the subject graph.
+func NewMatcher(net *logic.Network, lib *library.Library) *Matcher {
+	return &Matcher{
+		net:      net,
+		lib:      lib,
+		cls:      Classify(net),
+		inMerged: make(map[logic.NodeID]bool),
+	}
+}
+
+// Classifier exposes the matcher's node classification.
+func (mt *Matcher) Classifier() *Classifier { return mt.cls }
+
+// AtNode returns all distinct matches rooted at subject node v, across every
+// gate and pattern of the library. Matches are deduplicated by (gate,
+// bound inputs) and returned in a deterministic order.
+func (mt *Matcher) AtNode(v logic.NodeID) []*Match {
+	if t := mt.cls.Type(v); t != TypeNand2 && t != TypeInv {
+		return nil
+	}
+	var out []*Match
+	seen := make(map[string]bool)
+	for _, g := range mt.lib.Gates {
+		for _, p := range g.Patterns {
+			mt.bind = make([]logic.NodeID, g.NumInputs)
+			for i := range mt.bind {
+				mt.bind[i] = logic.InvalidNode
+			}
+			mt.merged = mt.merged[:0]
+			for k := range mt.inMerged {
+				delete(mt.inMerged, k)
+			}
+			mt.match(v, p.Root, func() {
+				// A gate input must be a signal that survives outside the
+				// match: reject bindings where a pin lands on a node the
+				// pattern interior consumed.
+				for _, b := range mt.bind {
+					if mt.inMerged[b] {
+						return
+					}
+				}
+				m := &Match{
+					Gate:    g,
+					Pattern: p,
+					Inputs:  append([]logic.NodeID(nil), mt.bind...),
+					Merged:  append([]logic.NodeID(nil), mt.merged...),
+				}
+				key := matchKey(m)
+				if !seen[key] {
+					seen[key] = true
+					out = append(out, m)
+				}
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Gate.Name != out[j].Gate.Name {
+			return out[i].Gate.Name < out[j].Gate.Name
+		}
+		return matchKey(out[i]) < matchKey(out[j])
+	})
+	return out
+}
+
+func matchKey(m *Match) string {
+	return fmt.Sprintf("%s:%v", m.Gate.Name, m.Inputs)
+}
+
+// match attempts to embed pattern node p at subject node v, invoking cont
+// for every consistent embedding. Internal pattern nodes must map to
+// distinct subject nodes; a leaf binds any subject node (including one
+// outside the pattern interior).
+func (mt *Matcher) match(v logic.NodeID, p *library.PatternNode, cont func()) {
+	switch p.Op {
+	case library.OpLeaf:
+		switch mt.bind[p.Pin] {
+		case logic.InvalidNode:
+			mt.bind[p.Pin] = v
+			cont()
+			mt.bind[p.Pin] = logic.InvalidNode
+		case v:
+			cont()
+		}
+	case library.OpInv:
+		if mt.cls.Type(v) != TypeInv || mt.inMerged[v] {
+			return
+		}
+		mt.pushMerged(v)
+		mt.match(mt.net.Nodes[v].Fanins[0], p.Kids[0], cont)
+		mt.popMerged(v)
+	case library.OpNand2:
+		if mt.cls.Type(v) != TypeNand2 || mt.inMerged[v] {
+			return
+		}
+		mt.pushMerged(v)
+		f := mt.net.Nodes[v].Fanins
+		mt.match(f[0], p.Kids[0], func() {
+			mt.match(f[1], p.Kids[1], cont)
+		})
+		if f[0] != f[1] {
+			// NAND is commutative: also try the swapped assignment.
+			mt.match(f[1], p.Kids[0], func() {
+				mt.match(f[0], p.Kids[1], cont)
+			})
+		}
+		mt.popMerged(v)
+	}
+}
+
+func (mt *Matcher) pushMerged(v logic.NodeID) {
+	mt.merged = append(mt.merged, v)
+	mt.inMerged[v] = true
+}
+
+func (mt *Matcher) popMerged(v logic.NodeID) {
+	mt.merged = mt.merged[:len(mt.merged)-1]
+	delete(mt.inMerged, v)
+}
+
+// InternalFanoutFree reports whether every non-root merged node of the
+// match fans out only inside the match — the DAGON tree-covering condition.
+// Cone-based covering (MIS, Lily) admits matches that violate it at the
+// price of logic duplication.
+func InternalFanoutFree(net *logic.Network, m *Match) bool {
+	inside := make(map[logic.NodeID]bool, len(m.Merged))
+	for _, id := range m.Merged {
+		inside[id] = true
+	}
+	for _, id := range m.Merged[1:] { // skip root
+		if net.IsPO(id) {
+			return false
+		}
+		for _, fo := range net.Fanouts(id) {
+			if !inside[fo] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Verify checks a match functionally: simulating the gate cover over the
+// bound input values must reproduce the subject root's value for every
+// assignment of the inputs. Used by tests and the mapper's paranoia mode.
+func Verify(net *logic.Network, m *Match) error {
+	// The match region forms a tree from inputs to root; evaluate the
+	// subject nodes in the region for all 2^k input assignments.
+	k := len(m.Inputs)
+	if k > 10 {
+		return nil // too wide to enumerate; structural matching is trusted
+	}
+	region := make(map[logic.NodeID]bool, len(m.Merged))
+	for _, id := range m.Merged {
+		region[id] = true
+	}
+	// Topological order of region nodes (root first in Merged, so reverse).
+	val := make(map[logic.NodeID]bool, len(region)+k)
+	var evalNode func(id logic.NodeID) bool
+	evalNode = func(id logic.NodeID) bool {
+		if v, ok := val[id]; ok {
+			return v
+		}
+		nd := net.Nodes[id]
+		ins := make([]bool, len(nd.Fanins))
+		for i, f := range nd.Fanins {
+			ins[i] = evalNode(f)
+		}
+		v := nd.Cover.Eval(ins)
+		val[id] = v
+		return v
+	}
+	pins := make([]bool, k)
+	for r := 0; r < 1<<k; r++ {
+		for id := range val {
+			delete(val, id)
+		}
+		consistent := true
+		for i, in := range m.Inputs {
+			pins[i] = r&(1<<i) != 0
+			if prev, ok := val[in]; ok && prev != pins[i] {
+				// Two pins bound to the same subject signal: only
+				// assignments giving them equal values are realizable.
+				consistent = false
+				break
+			}
+			val[in] = pins[i]
+		}
+		if !consistent {
+			continue
+		}
+		want := evalNode(m.Root())
+		got := m.Gate.Cover.Eval(pins)
+		if got != want {
+			return fmt.Errorf("match %s: gate says %v, subject says %v for pins %v",
+				m, got, want, pins)
+		}
+	}
+	return nil
+}

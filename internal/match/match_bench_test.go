@@ -1,0 +1,49 @@
+package match
+
+import (
+	"testing"
+
+	"lily/internal/bench"
+	"lily/internal/decomp"
+	"lily/internal/library"
+	"lily/internal/logic"
+)
+
+// BenchmarkMatcherAllNodes measures full-library matching over every node
+// of a mid-size subject graph — the inner loop of both mappers.
+func BenchmarkMatcherAllNodes(b *testing.B) {
+	src := bench.Random(5, 20, 10, 150, 4)
+	res, err := decomp.Premap(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sub := res.Inchoate
+	lib := library.Big()
+	var nodes []logic.NodeID
+	for _, nd := range sub.Nodes {
+		if nd != nil && nd.Kind == logic.KindLogic {
+			nodes = append(nodes, nd.ID)
+		}
+	}
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		mt := NewMatcher(sub, lib)
+		for _, v := range nodes {
+			total += len(mt.AtNode(v))
+		}
+	}
+	b.ReportMetric(float64(total)/float64(b.N)/float64(len(nodes)), "matches/node")
+}
+
+func BenchmarkClassify(b *testing.B) {
+	src := bench.Random(6, 20, 10, 300, 4)
+	res, err := decomp.Premap(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Classify(res.Inchoate)
+	}
+}

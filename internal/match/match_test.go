@@ -1,0 +1,283 @@
+package match
+
+import (
+	"testing"
+
+	"lily/internal/bench"
+	"lily/internal/decomp"
+	"lily/internal/library"
+	"lily/internal/logic"
+)
+
+// buildSubject premaps a tiny source network and returns the subject graph.
+func buildSubject(t *testing.T, build func(n *logic.Network)) *logic.Network {
+	t.Helper()
+	src := logic.New("t")
+	build(src)
+	res, err := decomp.Premap(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Inchoate
+}
+
+func TestClassify(t *testing.T) {
+	sub := buildSubject(t, func(n *logic.Network) {
+		a := n.AddPI("a")
+		b := n.AddPI("b")
+		x := n.AddLogic("x", []logic.NodeID{a.ID, b.ID}, logic.AndSOP(2))
+		n.MarkPO(x.ID, "x")
+	})
+	c := Classify(sub)
+	nands, invs, pis := 0, 0, 0
+	for _, nd := range sub.Nodes {
+		if nd == nil {
+			continue
+		}
+		switch c.Type(nd.ID) {
+		case TypeNand2:
+			nands++
+		case TypeInv:
+			invs++
+		case TypePI:
+			pis++
+		default:
+			t.Errorf("node %s unclassified", nd.Name)
+		}
+	}
+	if pis != 2 || nands != 1 || invs != 1 {
+		t.Errorf("classification: pi=%d nand=%d inv=%d", pis, nands, invs)
+	}
+}
+
+func TestMatchAnd2(t *testing.T) {
+	// AND(a,b) premaps to INV(NAND(a,b)); at the INV root the and2 gate
+	// must match with inputs {a,b}, and the inv gate must match with the
+	// NAND node as input.
+	sub := buildSubject(t, func(n *logic.Network) {
+		a := n.AddPI("a")
+		b := n.AddPI("b")
+		x := n.AddLogic("x", []logic.NodeID{a.ID, b.ID}, logic.AndSOP(2))
+		n.MarkPO(x.ID, "x")
+	})
+	lib := library.Big()
+	mt := NewMatcher(sub, lib)
+	root := sub.POs[0]
+	matches := mt.AtNode(root)
+	var haveAnd2, haveInv bool
+	for _, m := range matches {
+		if err := Verify(sub, m); err != nil {
+			t.Errorf("verify: %v", err)
+		}
+		switch m.Gate.Name {
+		case "and2":
+			haveAnd2 = true
+			if len(m.Merged) != 2 {
+				t.Errorf("and2 merged = %v", m.Merged)
+			}
+		case "inv":
+			haveInv = true
+		}
+	}
+	if !haveAnd2 || !haveInv {
+		t.Errorf("missing matches at AND root: and2=%v inv=%v (%d matches)",
+			haveAnd2, haveInv, len(matches))
+	}
+}
+
+func TestMatchWideNand(t *testing.T) {
+	// NAND4 over 4 PIs: subject is a tree of NAND2/INV; at the root the
+	// nand4 gate must match (via one of its shape variants) with the four
+	// PIs as inputs.
+	sub := buildSubject(t, func(n *logic.Network) {
+		var ids []logic.NodeID
+		for _, name := range []string{"a", "b", "c", "d"} {
+			ids = append(ids, n.AddPI(name).ID)
+		}
+		x := n.AddLogic("x", ids, logic.NandSOP(4))
+		n.MarkPO(x.ID, "x")
+	})
+	lib := library.Big()
+	mt := NewMatcher(sub, lib)
+	matches := mt.AtNode(sub.POs[0])
+	found := false
+	for _, m := range matches {
+		if m.Gate.Name == "nand4" {
+			found = true
+			if len(m.Inputs) != 4 {
+				t.Errorf("nand4 inputs = %v", m.Inputs)
+			}
+			pis := map[logic.NodeID]bool{}
+			for _, in := range m.Inputs {
+				pis[in] = true
+			}
+			if len(pis) != 4 {
+				t.Errorf("nand4 inputs not distinct PIs: %v", m.Inputs)
+			}
+			if err := Verify(sub, m); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	if !found {
+		t.Error("nand4 did not match a premapped 4-input NAND")
+	}
+}
+
+func TestMatchCommutative(t *testing.T) {
+	// OAI21 = NAND(OR(a,b), c) premapped: nand(nand(!a,!b), c)'s root is a
+	// NAND whose children differ in type; the matcher must find oai21
+	// regardless of fanin order.
+	sub := buildSubject(t, func(n *logic.Network) {
+		a := n.AddPI("a")
+		b := n.AddPI("b")
+		c := n.AddPI("c")
+		o := n.AddLogic("o", []logic.NodeID{a.ID, b.ID}, logic.OrSOP(2))
+		x := n.AddLogic("x", []logic.NodeID{o.ID, c.ID}, logic.NandSOP(2))
+		n.MarkPO(x.ID, "x")
+	})
+	lib := library.Big()
+	mt := NewMatcher(sub, lib)
+	matches := mt.AtNode(sub.POs[0])
+	found := false
+	for _, m := range matches {
+		if m.Gate.Name == "oai21" {
+			found = true
+			if err := Verify(sub, m); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	if !found {
+		names := map[string]bool{}
+		for _, m := range matches {
+			names[m.Gate.Name] = true
+		}
+		t.Errorf("oai21 not matched; got %v", names)
+	}
+}
+
+func TestMatchesDeduplicated(t *testing.T) {
+	sub := buildSubject(t, func(n *logic.Network) {
+		a := n.AddPI("a")
+		b := n.AddPI("b")
+		x := n.AddLogic("x", []logic.NodeID{a.ID, b.ID}, logic.NandSOP(2))
+		n.MarkPO(x.ID, "x")
+	})
+	lib := library.Big()
+	mt := NewMatcher(sub, lib)
+	matches := mt.AtNode(sub.POs[0])
+	seen := map[string]bool{}
+	for _, m := range matches {
+		k := matchKey(m)
+		if seen[k] {
+			t.Errorf("duplicate match %s", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestNoMatchAtPI(t *testing.T) {
+	sub := buildSubject(t, func(n *logic.Network) {
+		a := n.AddPI("a")
+		x := n.AddLogic("x", []logic.NodeID{a.ID}, logic.NotSOP())
+		n.MarkPO(x.ID, "x")
+	})
+	mt := NewMatcher(sub, library.Big())
+	if got := mt.AtNode(sub.PIs[0]); got != nil {
+		t.Errorf("matches at PI: %v", got)
+	}
+}
+
+func TestEveryBaseNodeHasAMatch(t *testing.T) {
+	// On a realistic subject graph, every NAND2/INV node must have at
+	// least the base-cell match (nand2/inv are in the library), or
+	// covering would be infeasible.
+	src := bench.Random(3, 10, 5, 60, 4)
+	res, err := decomp.Premap(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := res.Inchoate
+	mt := NewMatcher(sub, library.Big())
+	for _, nd := range sub.Nodes {
+		if nd == nil || nd.Kind != logic.KindLogic {
+			continue
+		}
+		matches := mt.AtNode(nd.ID)
+		if len(matches) == 0 {
+			t.Fatalf("node %s has no matches", nd.Name)
+		}
+		base := false
+		for _, m := range matches {
+			if m.Gate.Name == "nand2" || m.Gate.Name == "inv" {
+				base = true
+			}
+		}
+		if !base {
+			t.Errorf("node %s lacks a base-cell match", nd.Name)
+		}
+	}
+}
+
+func TestAllMatchesVerifyOnRandomSubject(t *testing.T) {
+	src := bench.Random(9, 8, 4, 40, 4)
+	res, err := decomp.Premap(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := res.Inchoate
+	mt := NewMatcher(sub, library.Big())
+	total := 0
+	for _, nd := range sub.Nodes {
+		if nd == nil || nd.Kind != logic.KindLogic {
+			continue
+		}
+		for _, m := range mt.AtNode(nd.ID) {
+			total++
+			if err := Verify(sub, m); err != nil {
+				t.Fatal(err)
+			}
+			if m.Root() != nd.ID {
+				t.Fatalf("match root %d != node %d", m.Root(), nd.ID)
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no matches found at all")
+	}
+}
+
+func TestInternalFanoutFree(t *testing.T) {
+	// Build x = AND(a,b) feeding two consumers; the NAND inside the AND
+	// premap has external fanout only if shared. Construct a case where a
+	// merged node fans out: y = INV(nandNode) and z uses nandNode too.
+	src := logic.New("t")
+	a := src.AddPI("a")
+	b := src.AddPI("b")
+	nd := src.AddLogic("nab", []logic.NodeID{a.ID, b.ID}, logic.NandSOP(2))
+	x := src.AddLogic("x", []logic.NodeID{nd.ID}, logic.NotSOP())
+	src.MarkPO(x.ID, "x")
+	src.MarkPO(nd.ID, "nab") // the NAND itself is observable
+	res, err := decomp.Premap(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := res.Inchoate
+	mt := NewMatcher(sub, library.Big())
+	// At the INV root, and2 matches but its merged NAND is a PO: not
+	// fanout-free.
+	invRoot := res.Root[x.ID]
+	for _, m := range mt.AtNode(invRoot) {
+		if m.Gate.Name == "and2" {
+			if InternalFanoutFree(sub, m) {
+				t.Error("and2 over an observable NAND should not be fanout-free")
+			}
+		}
+		if m.Gate.Name == "inv" {
+			if !InternalFanoutFree(sub, m) {
+				t.Error("inv match must be fanout-free (no internal nodes)")
+			}
+		}
+	}
+}

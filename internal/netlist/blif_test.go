@@ -1,0 +1,101 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lily/internal/library"
+)
+
+func TestMappedBLIFRoundTrip(t *testing.T) {
+	nl := buildMux(t)
+	lib := library.Big()
+	var buf bytes.Buffer
+	if err := WriteBLIF(&buf, nl); err != nil {
+		t.Fatal(err)
+	}
+	nl2, err := ParseBLIF(&buf, lib)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	// Functional equivalence.
+	for r := 0; r < 8; r++ {
+		in := map[string]bool{"sel": r&1 != 0, "a": r&2 != 0, "b": r&4 != 0}
+		o1, err := nl.Eval(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o2, err := nl2.Eval(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range o1 {
+			if o1[k] != o2[k] {
+				t.Fatalf("round trip differs at %s", k)
+			}
+		}
+	}
+	// Placement survives.
+	for _, c2 := range nl2.Cells {
+		found := false
+		for _, c := range nl.Cells {
+			if c.Name == c2.Name {
+				found = true
+				if c.Pos != c2.Pos {
+					t.Errorf("cell %s position lost: %v -> %v", c.Name, c.Pos, c2.Pos)
+				}
+			}
+		}
+		if !found && c2.Gate.Name != "buf" {
+			t.Errorf("unexpected cell %s after round trip", c2.Name)
+		}
+	}
+	for i := range nl2.PIPos {
+		if nl2.PIPos[i] != nl.PIPos[nl.PIIndex(nl2.PINames[i])] {
+			t.Errorf("PI pad %s lost", nl2.PINames[i])
+		}
+	}
+}
+
+func TestMappedBLIFErrors(t *testing.T) {
+	lib := library.Big()
+	cases := map[string]string{
+		"unknown-gate": ".model m\n.inputs a\n.outputs y\n.gate frob a=a z=y\n.end",
+		"pin-count":    ".model m\n.inputs a\n.outputs y\n.gate and2 a=a z=y\n.end",
+		"bad-pin":      ".model m\n.inputs a b\n.outputs y\n.gate and2 a=a q=b z=y\n.end",
+		"no-output":    ".model m\n.inputs a\n.outputs y\n.gate inv a=a\n.end",
+		"undriven":     ".model m\n.inputs a\n.outputs y\n.end",
+		"redriven":     ".model m\n.inputs a\n.outputs y\n.gate inv a=a z=y\n.gate inv a=a z=y\n.end",
+		"names":        ".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n.end",
+		"cycle":        ".model m\n.inputs a\n.outputs y\n.gate and2 a=a b=y z=x\n.gate inv a=x z=y\n.end",
+	}
+	for name, src := range cases {
+		if _, err := ParseBLIF(strings.NewReader(src), lib); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestMappedBLIFForwardReference(t *testing.T) {
+	lib := library.Big()
+	src := `
+.model fwd
+.inputs a
+.outputs y
+.gate inv a=mid z=y
+.gate inv a=a z=mid
+.end
+`
+	nl, err := ParseBLIF(strings.NewReader(src), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := nl.Eval(map[string]bool{"a": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["y"] != true {
+		t.Error("double inverter chain wrong")
+	}
+}

@@ -1,0 +1,141 @@
+package netlist
+
+import (
+	"testing"
+
+	"lily/internal/geom"
+	"lily/internal/library"
+)
+
+// buildMux builds sel ? a : b out of big-library gates:
+// y = or2(and2(sel,a), and2(inv(sel),b)).
+func buildMux(t *testing.T) *Netlist {
+	t.Helper()
+	lib := library.Big()
+	nl := &Netlist{
+		Name:    "mux",
+		PINames: []string{"sel", "a", "b"},
+		PIPos:   []geom.Point{{X: 0, Y: 0}, {X: 0, Y: 50}, {X: 0, Y: 100}},
+	}
+	pi := func(i int) Ref { return Ref{IsPI: true, Index: i} }
+	inv := nl.AddCell(&Cell{Name: "u_inv", Gate: lib.GateByName("inv"),
+		Inputs: []Ref{pi(0)}, Pos: geom.Point{X: 50, Y: 80}})
+	a1 := nl.AddCell(&Cell{Name: "u_a1", Gate: lib.GateByName("and2"),
+		Inputs: []Ref{pi(0), pi(1)}, Pos: geom.Point{X: 60, Y: 30}})
+	a2 := nl.AddCell(&Cell{Name: "u_a2", Gate: lib.GateByName("and2"),
+		Inputs: []Ref{{Index: inv}, pi(2)}, Pos: geom.Point{X: 60, Y: 90}})
+	o := nl.AddCell(&Cell{Name: "u_o", Gate: lib.GateByName("or2"),
+		Inputs: []Ref{{Index: a1}, {Index: a2}}, Pos: geom.Point{X: 100, Y: 60}})
+	nl.POs = append(nl.POs, PO{Name: "y", Driver: Ref{Index: o}, Pad: geom.Point{X: 150, Y: 60}})
+	if err := nl.Check(); err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+func TestNetlistEval(t *testing.T) {
+	nl := buildMux(t)
+	for r := 0; r < 8; r++ {
+		sel, a, b := r&1 != 0, r&2 != 0, r&4 != 0
+		out, err := nl.Eval(map[string]bool{"sel": sel, "a": a, "b": b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := b
+		if sel {
+			want = a
+		}
+		if out["y"] != want {
+			t.Errorf("mux(%v,%v,%v) = %v, want %v", sel, a, b, out["y"], want)
+		}
+	}
+}
+
+func TestNetlistTopoOrder(t *testing.T) {
+	nl := buildMux(t)
+	order, err := nl.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[int]int)
+	for i, c := range order {
+		pos[c] = i
+	}
+	for ci, c := range nl.Cells {
+		for _, r := range c.Inputs {
+			if !r.IsPI && pos[r.Index] >= pos[ci] {
+				t.Errorf("cell %d before its driver %d", ci, r.Index)
+			}
+		}
+	}
+}
+
+func TestNetlistNets(t *testing.T) {
+	nl := buildMux(t)
+	nets := nl.Nets()
+	// sel drives inv and a1 (2 sinks); a drives a1; b drives a2; inv->a2;
+	// a1->o; a2->o; o->pad. That is 7 nets.
+	if len(nets) != 7 {
+		t.Fatalf("%d nets, want 7", len(nets))
+	}
+	var selNet, oNet *Net
+	for i := range nets {
+		if nets[i].Driver.IsPI && nets[i].Driver.Index == 0 {
+			selNet = &nets[i]
+		}
+		if !nets[i].Driver.IsPI && nl.Cells[nets[i].Driver.Index].Name == "u_o" {
+			oNet = &nets[i]
+		}
+	}
+	if selNet == nil || len(selNet.Sinks) != 2 {
+		t.Errorf("sel net wrong: %+v", selNet)
+	}
+	if oNet == nil || len(oNet.POPads) != 1 || len(oNet.Sinks) != 0 {
+		t.Errorf("output net wrong: %+v", oNet)
+	}
+	pins := nl.NetPins(*oNet)
+	if len(pins) != 2 {
+		t.Errorf("output net pins = %v", pins)
+	}
+}
+
+func TestNetlistStats(t *testing.T) {
+	nl := buildMux(t)
+	s := nl.Stat()
+	if s.Cells != 4 {
+		t.Errorf("cells = %d", s.Cells)
+	}
+	if s.ByGate["and2"] != 2 || s.ByGate["inv"] != 1 || s.ByGate["or2"] != 1 {
+		t.Errorf("gate histogram = %v", s.ByGate)
+	}
+	if s.ActiveArea <= 0 {
+		t.Error("no active area")
+	}
+}
+
+func TestNetlistCheckErrors(t *testing.T) {
+	lib := library.Big()
+	nl := &Netlist{Name: "bad", PINames: []string{"a"}, PIPos: make([]geom.Point, 1)}
+	// Wrong pin count.
+	nl.AddCell(&Cell{Name: "x", Gate: lib.GateByName("and2"), Inputs: []Ref{{IsPI: true}}})
+	if err := nl.Check(); err == nil {
+		t.Error("pin count error not caught")
+	}
+	// Bad reference.
+	nl.Cells[0].Inputs = []Ref{{IsPI: true, Index: 0}, {Index: 99}}
+	if err := nl.Check(); err == nil {
+		t.Error("bad ref not caught")
+	}
+	// Cycle.
+	nl.Cells[0].Inputs = []Ref{{IsPI: true, Index: 0}, {Index: 0}}
+	if err := nl.Check(); err == nil {
+		t.Error("cycle not caught")
+	}
+}
+
+func TestMissingInput(t *testing.T) {
+	nl := buildMux(t)
+	if _, err := nl.Eval(map[string]bool{"sel": true}); err == nil {
+		t.Error("missing PI value not caught")
+	}
+}

@@ -1,0 +1,171 @@
+package opt
+
+import "lily/internal/logic"
+
+// eliminate collapses low-value nodes into their fanouts (MIS "eliminate").
+// To keep cover growth under control only single-cube (AND-shaped) nodes
+// are candidates: substituting the positive phase splices the one cube in,
+// and the negative phase expands by De Morgan into single-literal cubes.
+// A candidate is collapsed when the resulting literal delta is at most the
+// threshold.
+func eliminate(net *logic.Network, threshold int, st *Stats) int {
+	changed := 0
+	order, err := net.TopoOrder()
+	if err != nil {
+		return 0
+	}
+	for _, id := range order {
+		nd := net.Node(id)
+		if nd == nil || nd.Kind != logic.KindLogic || net.IsPO(id) {
+			continue
+		}
+		if len(nd.Cover.Cubes) != 1 || len(nd.Fanins) == 0 || hasDuplicateFanins(nd) {
+			continue
+		}
+		fanouts := append([]logic.NodeID(nil), net.Fanouts(id)...)
+		if len(fanouts) == 0 {
+			continue
+		}
+		feasible := true
+		delta := -nd.Cover.LiteralCount() // the node itself disappears
+		type plan struct {
+			fo    logic.NodeID
+			cover logic.SOP
+			fans  []logic.NodeID
+		}
+		var plans []plan
+		seen := map[logic.NodeID]bool{}
+		for _, fo := range fanouts {
+			if seen[fo] {
+				continue
+			}
+			seen[fo] = true
+			fnd := net.Node(fo)
+			if fnd == nil || fnd.Kind != logic.KindLogic || hasDuplicateFanins(fnd) {
+				feasible = false
+				break
+			}
+			newCover, newFans, ok := substituteNode(net, fnd, nd)
+			if !ok {
+				feasible = false
+				break
+			}
+			delta += newCover.LiteralCount() - fnd.Cover.LiteralCount()
+			plans = append(plans, plan{fo, newCover, newFans})
+		}
+		if !feasible || delta > threshold {
+			continue
+		}
+		for _, p := range plans {
+			applySubstitution(net, p.fo, p.cover, p.fans)
+		}
+		st.NodesCollapsed++
+		changed++
+	}
+	return changed
+}
+
+// substituteNode computes fanout node fnd's cover with nd spliced in.
+// Returns the new cover over the new fanin list.
+func substituteNode(net *logic.Network, fnd, nd *logic.Node) (logic.SOP, []logic.NodeID, bool) {
+	pos := faninPos(fnd, nd.ID)
+	if pos < 0 {
+		return logic.SOP{}, nil, false
+	}
+	// New fanin list: fnd's fanins without nd, then nd's fanins not
+	// already present.
+	var fans []logic.NodeID
+	for i, f := range fnd.Fanins {
+		if i != pos {
+			fans = append(fans, f)
+		}
+	}
+	mapped := make(map[logic.NodeID]int)
+	for i, f := range fans {
+		mapped[f] = i
+	}
+	for _, f := range nd.Fanins {
+		if _, ok := mapped[f]; !ok {
+			mapped[f] = len(fans)
+			fans = append(fans, f)
+		}
+	}
+	width := len(fans)
+
+	andCube := nd.Cover.Cubes[0]
+	out := logic.NewSOP(width)
+	for _, c := range fnd.Cover.Cubes {
+		base := make(logic.Cube, width)
+		for i, l := range c {
+			if i == pos {
+				continue
+			}
+			fi := fnd.Fanins[i]
+			if !mergeLit(base, mapped[fi], l) {
+				return logic.SOP{}, nil, false
+			}
+		}
+		switch c[pos] {
+		case logic.LitDC:
+			out.AddCube(base)
+		case logic.LitPos:
+			// Splice the AND cube in; phase conflicts kill the cube.
+			nc := append(logic.Cube(nil), base...)
+			dead := false
+			for i, l := range andCube {
+				if l == logic.LitDC {
+					continue
+				}
+				if !mergeLit(nc, mapped[nd.Fanins[i]], l) {
+					dead = true
+					break
+				}
+			}
+			if !dead {
+				out.AddCube(nc)
+			}
+		case logic.LitNeg:
+			// De Morgan: NOT(AND(l1..lk)) = OR of the negated literals.
+			for i, l := range andCube {
+				if l == logic.LitDC {
+					continue
+				}
+				nc := append(logic.Cube(nil), base...)
+				inv := logic.LitNeg
+				if l == logic.LitNeg {
+					inv = logic.LitPos
+				}
+				if mergeLit(nc, mapped[nd.Fanins[i]], inv) {
+					out.AddCube(nc)
+				}
+			}
+		}
+	}
+	return out, fans, true
+}
+
+// mergeLit intersects a literal into position i; false on phase conflict.
+func mergeLit(c logic.Cube, i int, l logic.Lit) bool {
+	if l == logic.LitDC {
+		return true
+	}
+	if c[i] == logic.LitDC || c[i] == l {
+		c[i] = l
+		return true
+	}
+	return false
+}
+
+// applySubstitution rewires fnd to the new fanins and cover.
+func applySubstitution(net *logic.Network, fo logic.NodeID, cover logic.SOP, fans []logic.NodeID) {
+	fnd := net.Node(fo)
+	// Detach all old fanins, then attach the new list.
+	for i := len(fnd.Fanins) - 1; i >= 0; i-- {
+		net.RemoveFanin(fo, i)
+	}
+	fnd.Fanins = append([]logic.NodeID(nil), fans...)
+	for _, f := range fans {
+		net.AttachFanout(f, fo)
+	}
+	fnd.Cover = cover
+}

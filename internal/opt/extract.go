@@ -1,0 +1,209 @@
+package opt
+
+import (
+	"fmt"
+	"sort"
+
+	"lily/internal/logic"
+)
+
+// literal identifies a signal with phase, network-wide.
+type literal struct {
+	node logic.NodeID
+	neg  bool
+}
+
+// pairKey orders two literals canonically.
+type pairKey struct {
+	a, b literal
+}
+
+func makePair(x, y literal) pairKey {
+	if y.node < x.node || (y.node == x.node && y.neg && !x.neg) {
+		x, y = y, x
+	}
+	return pairKey{x, y}
+}
+
+// extractCommonCubes finds two-literal cubes occurring in many product
+// terms across the network, materializes each as a new AND node, and
+// rewrites the covers to use it — the common-cube extraction of MIS's
+// technology-independent phase. Greedy: the best pair is extracted, counts
+// are rebuilt, and the loop continues while the saving threshold is met.
+func extractCommonCubes(net *logic.Network, minSaving int, st *Stats) int {
+	changed := 0
+	for round := 0; round < 200; round++ {
+		pair, count := bestPair(net)
+		// Extracting a pair occurring in k cubes replaces 2k literals by k
+		// and spends 2 on the new node: saving = k − 2.
+		if count-2 < minSaving {
+			break
+		}
+		if !applyExtraction(net, pair) {
+			break
+		}
+		st.CubesExtracted++
+		changed++
+	}
+	return changed
+}
+
+// bestPair counts co-occurrences of literal pairs inside cubes.
+func bestPair(net *logic.Network) (pairKey, int) {
+	counts := make(map[pairKey]int)
+	for _, nd := range net.Nodes {
+		if nd == nil || nd.Kind != logic.KindLogic || hasDuplicateFanins(nd) {
+			continue
+		}
+		for _, c := range nd.Cover.Cubes {
+			lits := cubeLiterals(nd, c)
+			for i := 0; i < len(lits); i++ {
+				for j := i + 1; j < len(lits); j++ {
+					counts[makePair(lits[i], lits[j])]++
+				}
+			}
+		}
+	}
+	var best pairKey
+	bestCount := 0
+	keys := make([]pairKey, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return pairLess(keys[i], keys[j]) })
+	for _, k := range keys {
+		if counts[k] > bestCount {
+			best, bestCount = k, counts[k]
+		}
+	}
+	return best, bestCount
+}
+
+func pairLess(a, b pairKey) bool {
+	if a.a.node != b.a.node {
+		return a.a.node < b.a.node
+	}
+	if a.a.neg != b.a.neg {
+		return !a.a.neg
+	}
+	if a.b.node != b.b.node {
+		return a.b.node < b.b.node
+	}
+	return !a.b.neg && b.b.neg
+}
+
+func hasDuplicateFanins(nd *logic.Node) bool {
+	seen := make(map[logic.NodeID]bool, len(nd.Fanins))
+	for _, f := range nd.Fanins {
+		if seen[f] {
+			return true
+		}
+		seen[f] = true
+	}
+	return false
+}
+
+func cubeLiterals(nd *logic.Node, c logic.Cube) []literal {
+	var out []literal
+	for i, l := range c {
+		switch l {
+		case logic.LitPos:
+			out = append(out, literal{nd.Fanins[i], false})
+		case logic.LitNeg:
+			out = append(out, literal{nd.Fanins[i], true})
+		}
+	}
+	return out
+}
+
+// applyExtraction creates the AND node for the pair and rewrites every
+// cube containing both literals.
+func applyExtraction(net *logic.Network, pair pairKey) bool {
+	// Build x = litA AND litB.
+	cover := logic.NewSOP(2)
+	cube := make(logic.Cube, 2)
+	cube[0] = phaseLit(pair.a.neg)
+	cube[1] = phaseLit(pair.b.neg)
+	cover.AddCube(cube)
+	x := net.AddLogic(freshName(net, "cx"), []logic.NodeID{pair.a.node, pair.b.node}, cover)
+
+	rewrote := false
+	for _, nd := range net.Nodes {
+		if nd == nil || nd.Kind != logic.KindLogic || nd.ID == x.ID || hasDuplicateFanins(nd) {
+			continue
+		}
+		posA := faninPos(nd, pair.a.node)
+		posB := faninPos(nd, pair.b.node)
+		if posA < 0 || posB < 0 {
+			continue
+		}
+		// Does any cube contain both literals with the right phases?
+		hit := false
+		for _, c := range nd.Cover.Cubes {
+			if c[posA] == phaseLit(pair.a.neg) && c[posB] == phaseLit(pair.b.neg) {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			continue
+		}
+		substitutePair(net, nd, posA, posB, pair, x.ID)
+		rewrote = true
+	}
+	if !rewrote {
+		// No consumer (can happen when duplicate-fanin nodes were the only
+		// holders): undo the helper node.
+		net.Delete(x.ID)
+		return false
+	}
+	return true
+}
+
+func phaseLit(neg bool) logic.Lit {
+	if neg {
+		return logic.LitNeg
+	}
+	return logic.LitPos
+}
+
+func faninPos(nd *logic.Node, f logic.NodeID) int {
+	for i, g := range nd.Fanins {
+		if g == f {
+			return i
+		}
+	}
+	return -1
+}
+
+// substitutePair rewrites nd's cubes: occurrences of the pair become a
+// positive literal of x (appended as a new fanin).
+func substitutePair(net *logic.Network, nd *logic.Node, posA, posB int, pair pairKey, x logic.NodeID) {
+	old := nd.Cover
+	width := old.NumInputs + 1
+	out := logic.NewSOP(width)
+	for _, c := range old.Cubes {
+		nc := make(logic.Cube, width)
+		copy(nc, c)
+		if c[posA] == phaseLit(pair.a.neg) && c[posB] == phaseLit(pair.b.neg) {
+			nc[posA] = logic.LitDC
+			nc[posB] = logic.LitDC
+			nc[width-1] = logic.LitPos
+		}
+		out.AddCube(nc)
+	}
+	// Attach x as the new last fanin.
+	nd.Fanins = append(nd.Fanins, x)
+	net.AttachFanout(x, nd.ID)
+	nd.Cover = out
+	pruneUnusedFanins(net, nd)
+}
+
+func freshName(net *logic.Network, prefix string) string {
+	for i := 0; ; i++ {
+		name := fmt.Sprintf("%s%d", prefix, len(net.Nodes)+i)
+		if net.NodeByName(name) == nil {
+			return name
+		}
+	}
+}

@@ -1,0 +1,625 @@
+package place
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"lily/internal/geom"
+	"lily/internal/logic"
+)
+
+// Config tunes the global placer.
+type Config struct {
+	// Utilization is the cell-area / die-area ratio used to size the die
+	// when none is given (standard-cell area predictors in the style of
+	// the paper's ref [15] put achievable utilization near 0.5–0.6).
+	Utilization float64
+	// MinRegion stops recursive bipartitioning when a region holds at most
+	// this many cells (the paper's "user-specified parameter", §3.1).
+	MinRegion int
+	// CGTol and CGMaxIter control the conjugate-gradient solver.
+	CGTol     float64
+	CGMaxIter int
+	// MaxLevels bounds the bipartition recursion depth.
+	MaxLevels int
+	// Die, when non-empty, fixes the placement region instead of sizing
+	// it from the cell area (used when re-placing a partially mapped
+	// network in the coordinate system of an earlier placement, §3.2).
+	Die geom.Rect
+	// FixedPads pins pad positions by name (PI names and PO names) and
+	// disables connectivity-driven pad assignment. Pads absent from the
+	// map fall back to the uniform boundary spread.
+	FixedPads map[string]geom.Point
+	// NaivePads keeps the initial uniform pad spread instead of running
+	// the connectivity-driven assignment — the ablation behind the
+	// paper's §5 remark that the initial pad placement influences how
+	// much wire reduction Lily can achieve.
+	NaivePads bool
+}
+
+// DefaultConfig returns the configuration used throughout the experiments.
+func DefaultConfig() Config {
+	return Config{
+		Utilization: 0.55,
+		MinRegion:   12,
+		CGTol:       1e-6,
+		CGMaxIter:   400,
+		MaxLevels:   14,
+	}
+}
+
+// Result is a balanced global point placement.
+type Result struct {
+	// Pos maps every live node (PIs at their pad positions, logic nodes at
+	// their placed positions) to a point on the die.
+	Pos map[logic.NodeID]geom.Point
+	// POPads maps each primary-output name to its pad position on the
+	// boundary.
+	POPads map[string]geom.Point
+	// Die is the placement region.
+	Die geom.Rect
+	// Regions maps each movable node to its final region rectangle.
+	Regions map[logic.NodeID]geom.Rect
+}
+
+// pad is a fixed boundary terminal: a PI pad (driving its net) or a PO pad
+// (an extra sink on the PO node's net).
+type pad struct {
+	name string
+	isPI bool
+	node logic.NodeID // PI node, or the PO's driver node
+	pos  geom.Point
+}
+
+// Global places the network: pads are assigned to the boundary by
+// connectivity, then the movable gates get a balanced quadratic placement
+// with recursive min-cut bipartitioning (GORDIAN-style).
+func Global(net *logic.Network, cellWidth func(logic.NodeID) float64, rowHeight float64, cfg Config) (*Result, error) {
+	if cfg.Utilization <= 0 || cfg.Utilization > 1 {
+		return nil, fmt.Errorf("place: bad utilization %v", cfg.Utilization)
+	}
+	// Movable cells.
+	var movable []logic.NodeID
+	idx := make(map[logic.NodeID]int)
+	totalArea := 0.0
+	for _, nd := range net.Nodes {
+		if nd == nil || nd.Kind != logic.KindLogic {
+			continue
+		}
+		idx[nd.ID] = len(movable)
+		movable = append(movable, nd.ID)
+		totalArea += cellWidth(nd.ID) * rowHeight
+	}
+	if len(movable) == 0 {
+		return nil, fmt.Errorf("place: network has no logic nodes")
+	}
+	die := cfg.Die
+	// The zero Rect is a degenerate point, not the canonical empty
+	// rectangle; treat any zero-extent die as "size it from the area".
+	if die.IsEmpty() || die.Width() <= 0 || die.Height() <= 0 {
+		side := math.Sqrt(totalArea / cfg.Utilization)
+		die = geom.Enclosing([]geom.Point{{X: 0, Y: 0}, {X: side, Y: side}})
+	}
+
+	// Pads: PIs then POs, initially spread uniformly around the boundary.
+	var pads []*pad
+	for _, pi := range net.PIs {
+		pads = append(pads, &pad{name: net.Nodes[pi].Name, isPI: true, node: pi})
+	}
+	for i, po := range net.POs {
+		pads = append(pads, &pad{name: net.PONames[i], node: po})
+	}
+	spreadPads(pads, die)
+	if cfg.FixedPads != nil {
+		for _, pd := range pads {
+			if p, ok := cfg.FixedPads[pd.name]; ok {
+				pd.pos = p
+			}
+		}
+	}
+
+	// Nets: one per driver with at least two terminals.
+	nets := buildNets(net, pads)
+
+	p := &placer{
+		net: net, cfg: cfg, die: die,
+		movable: movable, idx: idx, pads: pads, nets: nets,
+		width: cellWidth, rowHeight: rowHeight,
+	}
+	return p.run()
+}
+
+// netPin is one terminal of a net: either a movable cell or a fixed pad.
+type netPin struct {
+	cell int  // movable index, or -1
+	pad  *pad // fixed pad, or nil
+}
+
+type netDef struct {
+	pins []netPin
+}
+
+func buildNets(net *logic.Network, pads []*pad) []netDef {
+	piPad := make(map[logic.NodeID]*pad)
+	poPads := make(map[logic.NodeID][]*pad)
+	for _, pd := range pads {
+		if pd.isPI {
+			piPad[pd.node] = pd
+		} else {
+			poPads[pd.node] = append(poPads[pd.node], pd)
+		}
+	}
+	var nets []netDef
+	for _, nd := range net.Nodes {
+		if nd == nil {
+			continue
+		}
+		var pins []netPin
+		if nd.Kind == logic.KindPI {
+			pins = append(pins, netPin{cell: -1, pad: piPad[nd.ID]})
+		} else {
+			pins = append(pins, netPin{cell: int(nd.ID)}) // fixed up below
+		}
+		for _, fo := range dedup(net.Fanouts(nd.ID)) {
+			pins = append(pins, netPin{cell: int(fo)})
+		}
+		for _, pd := range poPads[nd.ID] {
+			pins = append(pins, netPin{cell: -1, pad: pd})
+		}
+		if len(pins) >= 2 {
+			nets = append(nets, netDef{pins: pins})
+		}
+	}
+	return nets
+}
+
+func dedup(ids []logic.NodeID) []logic.NodeID {
+	seen := make(map[logic.NodeID]bool, len(ids))
+	out := ids[:0:0]
+	for _, id := range ids {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// spreadPads distributes pads uniformly around the die boundary in their
+// current order.
+func spreadPads(pads []*pad, die geom.Rect) {
+	n := len(pads)
+	if n == 0 {
+		return
+	}
+	perim := 2 * (die.Width() + die.Height())
+	for i, pd := range pads {
+		d := perim * float64(i) / float64(n)
+		pd.pos = perimeterPoint(die, d)
+	}
+}
+
+// perimeterPoint maps a distance along the boundary (counterclockwise from
+// the lower-left corner) to a point.
+func perimeterPoint(die geom.Rect, d float64) geom.Point {
+	w, h := die.Width(), die.Height()
+	d = math.Mod(d, 2*(w+h))
+	switch {
+	case d < w:
+		return geom.Point{X: die.LL.X + d, Y: die.LL.Y}
+	case d < w+h:
+		return geom.Point{X: die.UR.X, Y: die.LL.Y + (d - w)}
+	case d < 2*w+h:
+		return geom.Point{X: die.UR.X - (d - w - h), Y: die.UR.Y}
+	default:
+		return geom.Point{X: die.LL.X, Y: die.UR.Y - (d - 2*w - h)}
+	}
+}
+
+type placer struct {
+	net       *logic.Network
+	cfg       Config
+	die       geom.Rect
+	movable   []logic.NodeID
+	idx       map[logic.NodeID]int
+	pads      []*pad
+	nets      []netDef
+	width     func(logic.NodeID) float64
+	rowHeight float64
+
+	x, y []float64
+}
+
+func (p *placer) run() (*Result, error) {
+	n := len(p.movable)
+	p.x = make([]float64, n)
+	p.y = make([]float64, n)
+	c := p.die.Center()
+	for i := range p.x {
+		p.x[i] = c.X
+		p.y[i] = c.Y
+	}
+
+	// Phase 1: unconstrained QP with the initial pad spread.
+	if err := p.solveQP(nil, 0); err != nil {
+		return nil, err
+	}
+	// Phase 2: connectivity-driven pad assignment, then re-solve —
+	// skipped when the caller pinned the pads or asked for naive pads.
+	if p.cfg.FixedPads == nil && !p.cfg.NaivePads {
+		p.assignPads()
+		if err := p.solveQP(nil, 0); err != nil {
+			return nil, err
+		}
+	}
+	// Phase 3: recursive bipartitioning with region anchors.
+	regions, err := p.partition()
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Pos:     make(map[logic.NodeID]geom.Point, n+len(p.pads)),
+		POPads:  make(map[string]geom.Point),
+		Die:     p.die,
+		Regions: make(map[logic.NodeID]geom.Rect, n),
+	}
+	for i, id := range p.movable {
+		pt := geom.Point{X: p.x[i], Y: p.y[i]}
+		r := regions[i]
+		pt = clampTo(pt, r)
+		res.Pos[id] = pt
+		res.Regions[id] = r
+	}
+	for _, pd := range p.pads {
+		if pd.isPI {
+			res.Pos[pd.node] = pd.pos
+		} else {
+			res.POPads[pd.name] = pd.pos
+		}
+	}
+	return res, nil
+}
+
+func clampTo(pt geom.Point, r geom.Rect) geom.Point {
+	if r.IsEmpty() {
+		return pt
+	}
+	if pt.X < r.LL.X {
+		pt.X = r.LL.X
+	}
+	if pt.X > r.UR.X {
+		pt.X = r.UR.X
+	}
+	if pt.Y < r.LL.Y {
+		pt.Y = r.LL.Y
+	}
+	if pt.Y > r.UR.Y {
+		pt.Y = r.UR.Y
+	}
+	return pt
+}
+
+// solveQP solves both axes with optional per-cell anchors (region centers).
+func (p *placer) solveQP(anchor []geom.Point, anchorW float64) error {
+	q := newQuadSystem(len(p.movable))
+	for _, nd := range p.nets {
+		k := len(nd.pins)
+		if k <= 8 {
+			w := 2.0 / float64(k)
+			for a := 0; a < k; a++ {
+				for b := a + 1; b < k; b++ {
+					p.couple(q, nd.pins[a], nd.pins[b], w)
+				}
+			}
+		} else {
+			// Star model from the driver for big nets.
+			w := 1.0
+			for b := 1; b < k; b++ {
+				p.couple(q, nd.pins[0], nd.pins[b], w)
+			}
+		}
+	}
+	if anchor != nil {
+		for i := range p.movable {
+			q.addFixed(i, anchorW, anchor[i].X, anchor[i].Y)
+		}
+	}
+	if _, err := q.solve(q.rhsX, p.x, p.cfg.CGTol, p.cfg.CGMaxIter); err != nil {
+		return err
+	}
+	_, err := q.solve(q.rhsY, p.y, p.cfg.CGTol, p.cfg.CGMaxIter)
+	return err
+}
+
+// couple adds the quadratic coupling between two net pins, resolving
+// movable indices and fixed pad positions.
+func (p *placer) couple(q *quadSystem, a, b netPin, w float64) {
+	ai, bi := p.pinIndex(a), p.pinIndex(b)
+	switch {
+	case ai >= 0 && bi >= 0:
+		q.addEdge(ai, bi, w)
+	case ai >= 0:
+		q.addFixed(ai, w, b.pad.pos.X, b.pad.pos.Y)
+	case bi >= 0:
+		q.addFixed(bi, w, a.pad.pos.X, a.pad.pos.Y)
+	}
+}
+
+func (p *placer) pinIndex(pin netPin) int {
+	if pin.pad != nil {
+		return -1
+	}
+	i, ok := p.idx[logic.NodeID(pin.cell)]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// assignPads reassigns pads to boundary slots ordered by the angle of each
+// pad's connected-cell centroid around the die center — the bottom-up,
+// connectivity-driven pad placement of the paper's ref [20].
+func (p *placer) assignPads() {
+	center := p.die.Center()
+	type padAngle struct {
+		pd    *pad
+		angle float64
+	}
+	// Connected-cell centroid per pad.
+	conn := make(map[*pad][]geom.Point)
+	for _, nd := range p.nets {
+		var padsIn []*pad
+		var cells []geom.Point
+		for _, pin := range nd.pins {
+			if pin.pad != nil {
+				padsIn = append(padsIn, pin.pad)
+			} else if i := p.pinIndex(pin); i >= 0 {
+				cells = append(cells, geom.Point{X: p.x[i], Y: p.y[i]})
+			}
+		}
+		for _, pd := range padsIn {
+			conn[pd] = append(conn[pd], cells...)
+		}
+	}
+	pas := make([]padAngle, 0, len(p.pads))
+	for _, pd := range p.pads {
+		cent := geom.Centroid(conn[pd])
+		if len(conn[pd]) == 0 {
+			cent = pd.pos
+		}
+		pas = append(pas, padAngle{pd, math.Atan2(cent.Y-center.Y, cent.X-center.X)})
+	}
+	sort.SliceStable(pas, func(i, j int) bool { return pas[i].angle < pas[j].angle })
+	// Boundary slots ordered by angle: start at the rightmost mid-height
+	// point (angle ~0) and walk counterclockwise.
+	perim := 2 * (p.die.Width() + p.die.Height())
+	start := p.die.Width() + p.die.Height()/2 // middle of the right edge
+	for i, pa := range pas {
+		d := start + perim*float64(i)/float64(len(pas))
+		pa.pd.pos = perimeterPoint(p.die, d)
+	}
+}
+
+// region is one node of the bipartition tree.
+type region struct {
+	rect  geom.Rect
+	cells []int // movable indices
+	area  float64
+}
+
+// partition recursively splits the cell set, re-solving the QP with region
+// anchors after each level, and returns the final region of every cell.
+func (p *placer) partition() ([]geom.Rect, error) {
+	all := make([]int, len(p.movable))
+	areas := make([]float64, len(p.movable))
+	total := 0.0
+	for i, id := range p.movable {
+		all[i] = i
+		areas[i] = p.width(id) * p.rowHeight
+		total += areas[i]
+	}
+	regions := []*region{{rect: p.die, cells: all, area: total}}
+
+	for level := 1; level <= p.cfg.MaxLevels; level++ {
+		split := false
+		var next []*region
+		for _, r := range regions {
+			if len(r.cells) <= p.cfg.MinRegion {
+				next = append(next, r)
+				continue
+			}
+			a, b := p.splitRegion(r, areas)
+			next = append(next, a, b)
+			split = true
+		}
+		regions = next
+		if !split {
+			break
+		}
+		// Re-solve with anchors pulling each cell toward its region center;
+		// anchor strength grows with level so late levels dominate.
+		anchor := make([]geom.Point, len(p.movable))
+		for _, r := range regions {
+			c := r.rect.Center()
+			for _, ci := range r.cells {
+				anchor[ci] = c
+			}
+		}
+		w := 0.08 * math.Pow(1.9, float64(level))
+		if err := p.solveQP(anchor, w); err != nil {
+			return nil, err
+		}
+	}
+
+	out := make([]geom.Rect, len(p.movable))
+	for _, r := range regions {
+		for _, ci := range r.cells {
+			out[ci] = r.rect
+		}
+	}
+	return out, nil
+}
+
+// splitRegion bisects a region along its longer axis: cells are seeded into
+// halves by sorted position (area-balanced), refined by FM on the nets
+// projected into the region, and the rectangle is split proportionally to
+// the resulting side areas.
+func (p *placer) splitRegion(r *region, areas []float64) (*region, *region) {
+	horiz := r.rect.Width() >= r.rect.Height() // split along x if wide
+	cells := append([]int(nil), r.cells...)
+	sort.SliceStable(cells, func(a, b int) bool {
+		if horiz {
+			if p.x[cells[a]] != p.x[cells[b]] {
+				return p.x[cells[a]] < p.x[cells[b]]
+			}
+			return cells[a] < cells[b]
+		}
+		if p.y[cells[a]] != p.y[cells[b]] {
+			return p.y[cells[a]] < p.y[cells[b]]
+		}
+		return cells[a] < cells[b]
+	})
+	// Area-median seed.
+	half := r.area / 2
+	acc := 0.0
+	cut := 0
+	for i, c := range cells {
+		acc += areas[c]
+		if acc >= half {
+			cut = i + 1
+			break
+		}
+	}
+	if cut == 0 || cut == len(cells) {
+		cut = len(cells) / 2
+	}
+
+	// Local FM refinement on the projected hypergraph.
+	local := make(map[int]int, len(cells)) // movable idx -> local idx
+	for li, c := range cells {
+		local[c] = li
+	}
+	h := &Hypergraph{Areas: make([]float64, len(cells))}
+	for li, c := range cells {
+		h.Areas[li] = areas[c]
+	}
+	for _, nd := range p.nets {
+		var pins []int
+		for _, pin := range nd.pins {
+			if i := p.pinIndex(pin); i >= 0 {
+				if li, ok := local[i]; ok {
+					pins = append(pins, li)
+				}
+			}
+		}
+		if len(pins) >= 2 {
+			h.Nets = append(h.Nets, pins)
+		}
+	}
+	part := make([]int, len(cells))
+	for li := range cells {
+		if li >= cut {
+			part[li] = 1
+		}
+	}
+	FM(h, part, 0.08, 3)
+
+	a := &region{cells: nil}
+	b := &region{cells: nil}
+	for li, c := range cells {
+		if part[li] == 0 {
+			a.cells = append(a.cells, c)
+			a.area += areas[c]
+		} else {
+			b.cells = append(b.cells, c)
+			b.area += areas[c]
+		}
+	}
+	frac := 0.5
+	if r.area > 0 {
+		frac = a.area / r.area
+	}
+	if horiz {
+		mid := r.rect.LL.X + r.rect.Width()*frac
+		a.rect = rectOf(r.rect.LL.X, r.rect.LL.Y, mid, r.rect.UR.Y)
+		b.rect = rectOf(mid, r.rect.LL.Y, r.rect.UR.X, r.rect.UR.Y)
+	} else {
+		mid := r.rect.LL.Y + r.rect.Height()*frac
+		a.rect = rectOf(r.rect.LL.X, r.rect.LL.Y, r.rect.UR.X, mid)
+		b.rect = rectOf(r.rect.LL.X, mid, r.rect.UR.X, r.rect.UR.Y)
+	}
+	return a, b
+}
+
+func rectOf(llx, lly, urx, ury float64) geom.Rect {
+	return geom.Enclosing([]geom.Point{{X: llx, Y: lly}, {X: urx, Y: ury}})
+}
+
+// Quality metrics for tests and reporting.
+
+// TotalHPWL sums the half-perimeter length over all nets at the placed
+// positions.
+func (r *Result) TotalHPWL(net *logic.Network) float64 {
+	total := 0.0
+	for _, nd := range net.Nodes {
+		if nd == nil {
+			continue
+		}
+		pts := []geom.Point{r.Pos[nd.ID]}
+		for _, fo := range dedup(net.Fanouts(nd.ID)) {
+			pts = append(pts, r.Pos[fo])
+		}
+		for i, po := range net.POs {
+			if po == nd.ID {
+				pts = append(pts, r.POPads[net.PONames[i]])
+			}
+		}
+		if len(pts) >= 2 {
+			total += geom.Enclosing(pts).HalfPerimeter()
+		}
+	}
+	return total
+}
+
+// DensityImbalance splits the die into a g×g grid and returns the ratio of
+// the most populated bin's cell count to the mean — a balance check (a
+// perfectly uniform placement scores 1).
+func (r *Result) DensityImbalance(net *logic.Network, g int) float64 {
+	bins := make([]int, g*g)
+	n := 0
+	for _, nd := range net.Nodes {
+		if nd == nil || nd.Kind != logic.KindLogic {
+			continue
+		}
+		pt := r.Pos[nd.ID]
+		bx := int(float64(g) * (pt.X - r.Die.LL.X) / (r.Die.Width() + 1e-9))
+		by := int(float64(g) * (pt.Y - r.Die.LL.Y) / (r.Die.Height() + 1e-9))
+		if bx < 0 {
+			bx = 0
+		}
+		if bx >= g {
+			bx = g - 1
+		}
+		if by < 0 {
+			by = 0
+		}
+		if by >= g {
+			by = g - 1
+		}
+		bins[by*g+bx]++
+		n++
+	}
+	max := 0
+	for _, c := range bins {
+		if c > max {
+			max = c
+		}
+	}
+	mean := float64(n) / float64(g*g)
+	if mean == 0 {
+		return 0
+	}
+	return float64(max) / mean
+}

@@ -1,0 +1,92 @@
+package timing
+
+import (
+	"math"
+	"testing"
+
+	"lily/internal/library"
+)
+
+func TestSlackLoosePeriod(t *testing.T) {
+	lib := library.Big()
+	nl := chain(4, 50)
+	res, err := Analyze(nl, lib, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Slack(nl, lib, res, res.MaxDelay+10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ViolatingCells != 0 {
+		t.Errorf("%d violations at a loose period", rep.ViolatingCells)
+	}
+	if math.Abs(rep.WorstSlack-10) > 1e-9 {
+		t.Errorf("worst slack = %v, want 10 (period = delay + 10)", rep.WorstSlack)
+	}
+}
+
+func TestSlackTightPeriod(t *testing.T) {
+	lib := library.Big()
+	nl := chain(4, 50)
+	res, err := Analyze(nl, lib, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Slack(nl, lib, res, res.MaxDelay-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ViolatingCells == 0 {
+		t.Error("no violations at an infeasible period")
+	}
+	if math.Abs(rep.WorstSlack-(-5)) > 1e-9 {
+		t.Errorf("worst slack = %v, want -5", rep.WorstSlack)
+	}
+	// The critical list starts with the worst cell.
+	if len(rep.CriticalCells) == 0 ||
+		rep.CellSlack[rep.CriticalCells[0]] != rep.WorstSlack {
+		t.Error("critical list does not start at the worst slack")
+	}
+}
+
+func TestSlackAtExactPeriod(t *testing.T) {
+	// At period == MaxDelay the worst slack is zero (within epsilon) and
+	// every cell on the critical path has (near) zero slack.
+	lib := library.Big()
+	nl := chain(6, 30)
+	res, err := Analyze(nl, lib, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Slack(nl, lib, res, res.MaxDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.WorstSlack) > 1e-9 {
+		t.Errorf("worst slack = %v at exact period", rep.WorstSlack)
+	}
+	// In a pure chain every cell is on the critical path; all slacks are
+	// (near) zero.
+	for ci, s := range rep.CellSlack {
+		if s < -1e-9 || s > 1e-6 {
+			t.Errorf("cell %d slack %v; whole chain should be critical", ci, s)
+		}
+	}
+}
+
+func TestSlackMonotoneInPeriod(t *testing.T) {
+	lib := library.Big()
+	nl := chain(3, 40)
+	res, err := Analyze(nl, lib, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := Slack(nl, lib, res, 10)
+	r2, _ := Slack(nl, lib, res, 20)
+	for ci := range r1.CellSlack {
+		if got := r2.CellSlack[ci] - r1.CellSlack[ci]; math.Abs(got-10) > 1e-9 {
+			t.Fatalf("slack did not shift by the period delta: %v", got)
+		}
+	}
+}
