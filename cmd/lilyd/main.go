@@ -1,0 +1,82 @@
+// Command lilyd serves the lily mapping pipeline over HTTP: submit a job
+// (benchmark name or uploaded BLIF plus flow options), poll its status,
+// fetch the FlowResult, and download the layout SVG. Jobs execute on the
+// concurrent flow engine (worker pool, per-job timeouts, content-addressed
+// result cache, singleflight dedup); SIGINT/SIGTERM trigger a graceful
+// shutdown that drains in-flight jobs.
+//
+// Usage:
+//
+//	lilyd -addr :8080 -workers 8 -cache 256 -timeout 5m
+//
+// Example session:
+//
+//	curl -s localhost:8080/v1/benchmarks
+//	curl -s -X POST localhost:8080/v1/jobs \
+//	    -d '{"benchmark":"C432","svg":true,"options":{"mapper":"lily","objective":"area"}}'
+//	curl -s 'localhost:8080/v1/jobs/job-000001?wait=10s'
+//	curl -s localhost:8080/v1/jobs/job-000001/result
+//	curl -s localhost:8080/v1/jobs/job-000001/svg -o C432.svg
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"lily/internal/engine"
+	"lily/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker-pool size")
+	queue := flag.Int("queue", 0, "submit-queue depth (0 = 4x workers)")
+	cache := flag.Int("cache", 256, "result-cache entries (negative disables)")
+	timeout := flag.Duration("timeout", 10*time.Minute, "default per-job timeout (0 = none)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	flag.Parse()
+
+	eng := engine.New(engine.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cache,
+		DefaultTimeout: *timeout,
+	})
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: server.New(eng),
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("lilyd: listening on %s (workers=%d cache=%d timeout=%v)",
+		*addr, *workers, *cache, *timeout)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("lilyd: serve: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("lilyd: shutting down, draining in-flight jobs (budget %v)", *drain)
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("lilyd: http shutdown: %v", err)
+	}
+	if err := eng.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("lilyd: engine shutdown: %v", err)
+	}
+	log.Printf("lilyd: bye")
+}

@@ -3,19 +3,28 @@
 // detailed routing; MIS 2.1 vs Lily) and Table 2 (timing mode: instance
 // area and longest path delay; MIS 2.1 vs Lily).
 //
+// The benchmark suite fans out across the concurrent flow engine's worker
+// pool (each circuit × mapper run is an independent, deterministic job),
+// while rows print in suite order — the numbers are identical to a
+// sequential run.
+//
 // Usage:
 //
 //	tables -table 1            # Table 1 over the full suite
 //	tables -table 2            # Table 2 over the 12 timing circuits
 //	tables -table 1 -only C432 # single row
+//	tables -table 1 -workers 4 # bound the worker pool
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"lily"
+	"lily/internal/engine"
 )
 
 func main() {
@@ -23,6 +32,7 @@ func main() {
 	only := flag.String("only", "", "run a single named circuit")
 	verify := flag.Bool("verify", false, "verify mapped netlists against the source circuits")
 	autotune := flag.Bool("autotune", false, "let Lily retry with the paper's §5 remedies and keep the best run")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "flow-engine worker-pool size")
 	flag.Parse()
 
 	var names []string
@@ -39,14 +49,71 @@ func main() {
 		names = []string{*only}
 	}
 
+	objective := lily.ObjectiveArea
+	if *table == 2 {
+		objective = lily.ObjectiveDelay
+	}
+
+	eng := engine.New(engine.Config{Workers: *workers})
+	defer func() { _ = eng.Shutdown(context.Background()) }()
+	rows := submitSuite(eng, names, objective, *verify, *autotune)
+
 	if *table == 1 {
-		runTable1(names, *verify, *autotune)
+		runTable1(names, rows)
 	} else {
-		runTable2(names, *verify, *autotune)
+		runTable2(names, rows)
 	}
 }
 
-func runTable1(names []string, verify, autotune bool) {
+// row holds the two jobs of one table line.
+type row struct {
+	mis, lily *engine.Job
+}
+
+// submitSuite fans the whole suite out across the engine's worker pool:
+// one job per circuit × mapper, submitted up front so workers stay busy
+// while rows are reaped in print order.
+func submitSuite(eng *engine.Engine, names []string, objective lily.Objective, verify, autotune bool) map[string]row {
+	ctx := context.Background()
+	rows := make(map[string]row, len(names))
+	for _, name := range names {
+		m, err := eng.Submit(ctx, engine.Request{
+			Benchmark: name,
+			Options: lily.FlowOptions{
+				Mapper: lily.MapperMIS, Objective: objective, VerifyEquivalence: verify},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		l, err := eng.Submit(ctx, engine.Request{
+			Benchmark: name,
+			Options: lily.FlowOptions{
+				Mapper: lily.MapperLily, Objective: objective,
+				AutoTune: autotune, VerifyEquivalence: verify},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		rows[name] = row{mis: m, lily: l}
+	}
+	return rows
+}
+
+// reap blocks until both jobs of a row finish and returns their results.
+func (r row) reap() (m, l *lily.FlowResult) {
+	ctx := context.Background()
+	mo, err := r.mis.Wait(ctx)
+	if err != nil {
+		fatal(err)
+	}
+	lo, err := r.lily.Wait(ctx)
+	if err != nil {
+		fatal(err)
+	}
+	return mo.Result, lo.Result
+}
+
+func runTable1(names []string, rows map[string]row) {
 	fmt.Println("Table 1: area mode — MIS2.1 vs Lily (instance area, chip area, wirelength)")
 	fmt.Printf("%-8s | %10s %10s %8s | %10s %10s %8s | %6s %6s %6s\n",
 		"Ex.", "mis inst", "mis chip", "mis WL", "lily inst", "lily chip", "lily WL",
@@ -57,21 +124,7 @@ func runTable1(names []string, verify, autotune bool) {
 	var gi, gc, gw float64 // geometric-mean accumulators (log-free: products)
 	count := 0
 	for _, name := range names {
-		c, err := lily.GenerateBenchmark(name)
-		if err != nil {
-			fatal(err)
-		}
-		m, err := lily.RunFlow(c, lily.FlowOptions{
-			Mapper: lily.MapperMIS, Objective: lily.ObjectiveArea, VerifyEquivalence: verify})
-		if err != nil {
-			fatal(err)
-		}
-		l, err := lily.RunFlow(c, lily.FlowOptions{
-			Mapper: lily.MapperLily, Objective: lily.ObjectiveArea,
-			AutoTune: autotune, VerifyEquivalence: verify})
-		if err != nil {
-			fatal(err)
-		}
+		m, l := rows[name].reap()
 		fmt.Printf("%-8s | %10.3f %10.3f %8.2f | %10.3f %10.3f %8.2f | %+6.1f %+6.1f %+6.1f\n",
 			name, m.ActiveAreaMM2, m.ChipAreaMM2, m.WirelengthMM,
 			l.ActiveAreaMM2, l.ChipAreaMM2, l.WirelengthMM,
@@ -97,28 +150,14 @@ func runTable1(names []string, verify, autotune bool) {
 	fmt.Println("paper reports: inst +1.9%  chip -5%  WL -7% (averages)")
 }
 
-func runTable2(names []string, verify, autotune bool) {
+func runTable2(names []string, rows map[string]row) {
 	fmt.Println("Table 2: timing mode — MIS2.1 vs Lily (instance area, longest path delay)")
 	fmt.Printf("%-8s | %10s %8s | %10s %8s | %6s %6s\n",
 		"Ex.", "mis inst", "mis dly", "lily inst", "lily dly", "Δinst", "Δdly")
 	var sumMD, sumLD, dAcc float64
 	count := 0
 	for _, name := range names {
-		c, err := lily.GenerateBenchmark(name)
-		if err != nil {
-			fatal(err)
-		}
-		m, err := lily.RunFlow(c, lily.FlowOptions{
-			Mapper: lily.MapperMIS, Objective: lily.ObjectiveDelay, VerifyEquivalence: verify})
-		if err != nil {
-			fatal(err)
-		}
-		l, err := lily.RunFlow(c, lily.FlowOptions{
-			Mapper: lily.MapperLily, Objective: lily.ObjectiveDelay,
-			AutoTune: autotune, VerifyEquivalence: verify})
-		if err != nil {
-			fatal(err)
-		}
+		m, l := rows[name].reap()
 		fmt.Printf("%-8s | %10.3f %8.2f | %10.3f %8.2f | %+6.1f %+6.1f\n",
 			name, m.ActiveAreaMM2, m.DelayNS, l.ActiveAreaMM2, l.DelayNS,
 			pct(l.ActiveAreaMM2, m.ActiveAreaMM2), pct(l.DelayNS, m.DelayNS))

@@ -1,0 +1,134 @@
+// Determinism guarantees underpin the flow engine's content-addressed
+// result cache and the parallel table generation: a FlowOptions-keyed run
+// must produce byte-identical results no matter when, where, or alongside
+// what it executes. These tests pin that property at the public API
+// boundary (external test package so it can also drive the engine, which
+// imports lily).
+package lily_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"lily"
+	"lily/internal/engine"
+)
+
+// resultBytes canonicalizes a FlowResult for byte-wise comparison
+// (encoding/json sorts the GateHistogram map keys).
+func resultBytes(t *testing.T, r *lily.FlowResult) []byte {
+	t.Helper()
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func runOn(t *testing.T, name string, opt lily.FlowOptions) []byte {
+	t.Helper()
+	c, err := lily.GenerateBenchmark(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := lily.RunFlow(c, opt)
+	if err != nil {
+		t.Fatalf("RunFlow(%s, %+v): %v", name, opt, err)
+	}
+	return resultBytes(t, res)
+}
+
+// TestRunFlowDeterministic asserts that two identical RunFlow invocations
+// on the same benchmark produce byte-identical FlowResults — the
+// correctness precondition for the engine's cache keying.
+func TestRunFlowDeterministic(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opt  lily.FlowOptions
+	}{
+		{"b9", lily.FlowOptions{Mapper: lily.MapperLily, Objective: lily.ObjectiveArea}},
+		{"b9", lily.FlowOptions{Mapper: lily.MapperMIS, Objective: lily.ObjectiveArea}},
+		{"misex1", lily.FlowOptions{Mapper: lily.MapperLily, Objective: lily.ObjectiveDelay}},
+	} {
+		a := runOn(t, tc.name, tc.opt)
+		b := runOn(t, tc.name, tc.opt)
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s/%s/%s: repeated runs differ:\n%s\n%s",
+				tc.name, tc.opt.Mapper, tc.opt.Objective, a, b)
+		}
+	}
+}
+
+// TestAutoTunePortfolioDeterministic pins the concurrent portfolio: the
+// four §5 variants race on separate goroutines, but the winner must be
+// the same on every invocation (deterministic in-order selection).
+func TestAutoTunePortfolioDeterministic(t *testing.T) {
+	opt := lily.FlowOptions{Mapper: lily.MapperLily, Objective: lily.ObjectiveArea, AutoTune: true}
+	a := runOn(t, "misex1", opt)
+	b := runOn(t, "misex1", opt)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("AutoTune portfolio nondeterministic:\n%s\n%s", a, b)
+	}
+}
+
+// TestCloneRunsIdentically asserts a cloned circuit maps byte-identically
+// to its original — clones are how the engine and the portfolio isolate
+// concurrent runs, so any divergence would corrupt cached results.
+func TestCloneRunsIdentically(t *testing.T) {
+	c, err := lily.GenerateBenchmark("b9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := c.Clone()
+	opt := lily.FlowOptions{Mapper: lily.MapperLily}
+	orig, err := lily.RunFlow(c, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloned, err := lily.RunFlow(clone, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resultBytes(t, orig), resultBytes(t, cloned)) {
+		t.Fatalf("clone mapped differently:\n%s\n%s", resultBytes(t, orig), resultBytes(t, cloned))
+	}
+}
+
+// TestEngineMatchesDirectRun asserts the worker-pool path is observably
+// identical to the in-process path — the property that lets cmd/tables
+// fan out across the engine without changing the paper's tables.
+func TestEngineMatchesDirectRun(t *testing.T) {
+	opt := lily.FlowOptions{Mapper: lily.MapperLily, Objective: lily.ObjectiveArea}
+	direct := runOn(t, "misex1", opt)
+
+	eng := engine.New(engine.Config{Workers: 4})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = eng.Shutdown(ctx)
+	}()
+	out, err := eng.Run(context.Background(), engine.Request{Benchmark: "misex1", Options: opt})
+	if err != nil {
+		t.Fatalf("engine run: %v", err)
+	}
+	if got := resultBytes(t, out.Result); !bytes.Equal(direct, got) {
+		t.Fatalf("engine result differs from direct run:\n%s\n%s", direct, got)
+	}
+}
+
+// TestRunFlowContextCancelled asserts an already-cancelled context aborts
+// the flow without doing work.
+func TestRunFlowContextCancelled(t *testing.T) {
+	c, err := lily.GenerateBenchmark("misex1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := lily.RunFlowContext(ctx, c, lily.FlowOptions{}); err != context.Canceled {
+		t.Fatalf("RunFlowContext on cancelled ctx = %v, want context.Canceled", err)
+	}
+}

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -125,35 +126,48 @@ type Result struct {
 
 // Map runs Lily on a premapped subject graph.
 func Map(sub *logic.Network, lib *library.Library, opt Options) (*Result, error) {
-	pl, err := place.Global(sub, baseWidth(sub, lib), lib.RowHeight, opt.Place)
+	return MapContext(context.Background(), sub, lib, opt)
+}
+
+// MapContext is Map with cancellation: the global placement and the
+// per-cone mapping loop check ctx and abort with its error when it is
+// cancelled, so long mapping jobs can be interrupted promptly.
+func MapContext(ctx context.Context, sub *logic.Network, lib *library.Library, opt Options) (*Result, error) {
+	pl, err := place.GlobalContext(ctx, sub, baseWidth(sub, lib), lib.RowHeight, opt.Place)
 	if err != nil {
 		return nil, err
 	}
-	return MapPlaced(sub, lib, pl, opt)
+	return MapPlacedContext(ctx, sub, lib, pl, opt)
 }
 
 // MapPlaced runs Lily against an existing global placement of the subject
 // graph (so callers can share one placement across ablation runs).
 func MapPlaced(sub *logic.Network, lib *library.Library, pl *place.Result, opt Options) (*Result, error) {
+	return MapPlacedContext(context.Background(), sub, lib, pl, opt)
+}
+
+// MapPlacedContext is MapPlaced with cancellation (see MapContext).
+func MapPlacedContext(ctx context.Context, sub *logic.Network, lib *library.Library, pl *place.Result, opt Options) (*Result, error) {
 	if opt.Mode == ModeDelay && opt.TwoPassDelay {
 		firstOpt := opt
 		firstOpt.TwoPassDelay = false
-		first, err := MapPlaced(sub, lib, pl, firstOpt)
+		first, err := MapPlacedContext(ctx, sub, lib, pl, firstOpt)
 		if err != nil {
 			return nil, err
 		}
 		hints := recordedLoads(sub, lib, first, opt.WireModel)
-		return mapPlaced(sub, lib, pl, opt, hints)
+		return mapPlaced(ctx, sub, lib, pl, opt, hints)
 	}
-	return mapPlaced(sub, lib, pl, opt, nil)
+	return mapPlaced(ctx, sub, lib, pl, opt, nil)
 }
 
-func mapPlaced(sub *logic.Network, lib *library.Library, pl *place.Result, opt Options, loadHints map[logic.NodeID]float64) (*Result, error) {
+func mapPlaced(ctx context.Context, sub *logic.Network, lib *library.Library, pl *place.Result, opt Options, loadHints map[logic.NodeID]float64) (*Result, error) {
 	if opt.WireWeight < 0 {
 		return nil, fmt.Errorf("core: negative wire weight")
 	}
 	n := len(sub.Nodes)
 	lm := &lily{
+		ctx: ctx,
 		sub: sub, lib: lib, opt: opt, pl: pl,
 		mt:            match.NewMatcher(sub, lib),
 		state:         make([]State, n),
@@ -196,6 +210,7 @@ type hawkRef struct {
 }
 
 type lily struct {
+	ctx context.Context
 	sub *logic.Network
 	lib *library.Library
 	opt Options
@@ -236,6 +251,9 @@ type lily struct {
 func (lm *lily) run() (*Result, error) {
 	order := lm.coneOrder()
 	for i, poIdx := range order {
+		if err := lm.ctx.Err(); err != nil {
+			return nil, err
+		}
 		root := lm.sub.POs[poIdx]
 		if err := lm.processCone(root); err != nil {
 			return nil, err
@@ -537,15 +555,6 @@ func (lm *lily) evaluateArea(v logic.NodeID, matches []*match.Match) error {
 		}
 	}
 	if bm == nil {
-		for _, m := range matches {
-			g := lm.geometry(v, m)
-			fmt.Printf("DBG %s gate=%s gatePos=%v inputs=%v states=", lm.sub.Nodes[v].Name, m.Gate.Name, g.gatePos, m.Inputs)
-			for _, vi := range m.Inputs {
-				fmt.Printf("%v/%v/best=%v ", lm.state[vi], lm.inputPos(vi), lm.best[vi] != nil)
-			}
-			fmt.Println()
-			break
-		}
 		return fmt.Errorf("core: no feasible match at %q", lm.sub.Nodes[v].Name)
 	}
 	lm.best[v] = bm

@@ -72,7 +72,7 @@ func (lm *lily) replaceGlobal() error {
 		cfg.FixedPads[name] = p
 	}
 
-	pr, err := place.Global(hybrid, func(id logic.NodeID) float64 { return widths[id] },
+	pr, err := place.GlobalContext(lm.ctx, hybrid, func(id logic.NodeID) float64 { return widths[id] },
 		lm.lib.RowHeight, cfg)
 	if err != nil {
 		return err

@@ -1,0 +1,63 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"lily"
+)
+
+// BenchmarkEngineSuite measures the Table 1 workload (both mappers over
+// the full benchmark suite, area mode) executed through the engine with a
+// single worker (the historical sequential path) versus a full worker
+// pool, so the fan-out speedup is tracked. A fresh engine per iteration
+// keeps the result cache cold — every job does real mapping work.
+//
+//	go test ./internal/engine/ -bench EngineSuite -benchtime 1x
+func BenchmarkEngineSuite(b *testing.B) {
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		name := "sequential"
+		if workers > 1 {
+			name = fmt.Sprintf("workers-%d", workers)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runSuite(b, workers)
+			}
+		})
+		if workers == 1 && runtime.GOMAXPROCS(0) == 1 {
+			break // pool run would duplicate the sequential one
+		}
+	}
+}
+
+func runSuite(b *testing.B, workers int) {
+	b.Helper()
+	eng := New(Config{Workers: workers, CacheEntries: -1})
+	defer func() {
+		if err := eng.Shutdown(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}()
+	ctx := context.Background()
+	var jobs []*Job
+	for _, name := range lily.BenchmarkNames() {
+		for _, mapper := range []lily.Mapper{lily.MapperMIS, lily.MapperLily} {
+			j, err := eng.Submit(ctx, Request{
+				Benchmark: name,
+				Options:   lily.FlowOptions{Mapper: mapper, Objective: lily.ObjectiveArea},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			jobs = append(jobs, j)
+		}
+	}
+	for _, j := range jobs {
+		if _, err := j.Wait(ctx); err != nil {
+			b.Fatalf("job %s: %v", j.ID(), err)
+		}
+	}
+}

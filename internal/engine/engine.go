@@ -1,0 +1,455 @@
+// Package engine is the concurrent flow engine: a worker-pool job
+// scheduler that executes FlowOptions-parameterized pipeline runs
+// concurrently with context cancellation and per-job timeouts, panic
+// containment (a crashing flow fails its job, not the process), a
+// content-addressed result cache (SHA-256 of canonical circuit BLIF +
+// normalized options) with LRU eviction, and singleflight deduplication of
+// identical in-flight requests. It is the substrate under cmd/lilyd (the
+// network-facing mapping service) and cmd/tables (suite fan-out).
+package engine
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lily"
+)
+
+// ErrClosed is returned by Submit after Shutdown has begun.
+var ErrClosed = errors.New("engine: closed")
+
+// RunFunc executes one resolved request. The default implementation runs
+// the lily pipeline; tests inject fakes to exercise scheduling behavior.
+type RunFunc func(ctx context.Context, c *lily.Circuit, req Request) (*Outcome, error)
+
+// Config tunes an Engine.
+type Config struct {
+	// Workers is the worker-pool size; 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth is the submit-queue capacity; 0 means 4×Workers. Submit
+	// blocks (honouring its ctx) when the queue is full.
+	QueueDepth int
+	// CacheEntries bounds the LRU result cache; 0 means 128, negative
+	// disables caching.
+	CacheEntries int
+	// DefaultTimeout bounds each job's run time unless the request
+	// overrides it; 0 means no timeout.
+	DefaultTimeout time.Duration
+	// Run overrides the job executor (tests); nil runs the lily pipeline.
+	Run RunFunc
+}
+
+// Stats is a point-in-time snapshot of engine counters.
+type Stats struct {
+	Workers      int           `json:"workers"`
+	QueueDepth   int           `json:"queue_depth"`
+	Running      int           `json:"running"`
+	Submitted    uint64        `json:"submitted"`
+	Completed    uint64        `json:"completed"`
+	Failed       uint64        `json:"failed"`
+	Canceled     uint64        `json:"canceled"`
+	CacheHits    uint64        `json:"cache_hits"`
+	CacheMisses  uint64        `json:"cache_misses"`
+	Deduped      uint64        `json:"deduped"`
+	Panics       uint64        `json:"panics"`
+	CacheEntries int           `json:"cache_entries"`
+	QueueWait    time.Duration `json:"queue_wait_total_ns"`
+	RunTime      time.Duration `json:"run_time_total_ns"`
+}
+
+// flight tracks one in-flight execution for singleflight deduplication.
+type flight struct {
+	done chan struct{}
+	out  *Outcome
+	err  error
+}
+
+// Engine is a concurrent, cancellable, cache-backed flow scheduler.
+type Engine struct {
+	cfg   Config
+	run   RunFunc
+	queue chan *Job
+	cache *lruCache
+
+	mu       sync.Mutex
+	byID     map[string]*Job
+	inflight map[string]*flight
+	closed   bool
+	running  int
+	stats    Stats
+
+	closing  chan struct{} // closed when Shutdown begins
+	stop     chan struct{} // closed to terminate idle workers
+	stopOnce sync.Once
+	workerWG sync.WaitGroup // live workers
+	jobWG    sync.WaitGroup // unfinished jobs
+	seq      atomic.Uint64
+}
+
+// New starts an engine with cfg.Workers goroutines ready to execute jobs.
+// Call Shutdown to drain and stop it.
+func New(cfg Config) *Engine {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * cfg.Workers
+	}
+	cacheCap := cfg.CacheEntries
+	if cacheCap == 0 {
+		cacheCap = 128
+	}
+	e := &Engine{
+		cfg:      cfg,
+		run:      cfg.Run,
+		queue:    make(chan *Job, cfg.QueueDepth),
+		cache:    newLRU(cacheCap),
+		byID:     make(map[string]*Job),
+		inflight: make(map[string]*flight),
+		closing:  make(chan struct{}),
+		stop:     make(chan struct{}),
+	}
+	if e.run == nil {
+		e.run = runPipeline
+	}
+	e.workerWG.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+// runPipeline is the production executor: the full lily flow, optionally
+// rendering the layout SVG.
+func runPipeline(ctx context.Context, c *lily.Circuit, req Request) (*Outcome, error) {
+	if req.RenderSVG {
+		var buf bytes.Buffer
+		res, err := lily.RenderLayoutSVGContext(ctx, c, req.Options, &buf, lily.SVGOptions{DrawNets: true})
+		if err != nil {
+			return nil, err
+		}
+		return &Outcome{Result: res, SVG: buf.Bytes()}, nil
+	}
+	res, err := lily.RunFlowContext(ctx, c, req.Options)
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{Result: res}, nil
+}
+
+// resolveCircuit materializes the request's circuit and its canonical BLIF
+// serialization (the content-addressed half of the cache key).
+func resolveCircuit(req Request) (*lily.Circuit, []byte, error) {
+	set := 0
+	if req.Benchmark != "" {
+		set++
+	}
+	if len(req.BLIF) > 0 {
+		set++
+	}
+	if req.Circuit != nil {
+		set++
+	}
+	if set != 1 {
+		return nil, nil, fmt.Errorf("engine: request must set exactly one of Benchmark, BLIF, or Circuit (got %d)", set)
+	}
+	var c *lily.Circuit
+	var err error
+	switch {
+	case req.Benchmark != "":
+		c, err = lily.GenerateBenchmark(req.Benchmark)
+	case len(req.BLIF) > 0:
+		c, err = lily.LoadBLIF(bytes.NewReader(req.BLIF))
+	default:
+		c = req.Circuit.Clone()
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	var buf bytes.Buffer
+	if err := c.WriteBLIF(&buf); err != nil {
+		return nil, nil, err
+	}
+	return c, buf.Bytes(), nil
+}
+
+// Submit validates and enqueues a job. The returned Job is already
+// registered for lookup; ctx governs both the enqueue wait and, as the
+// parent of the job's own context, the run itself.
+func (e *Engine) Submit(ctx context.Context, req Request) (*Job, error) {
+	circ, blif, err := resolveCircuit(req)
+	if err != nil {
+		return nil, err
+	}
+	jctx, cancel := context.WithCancel(ctx)
+	j := &Job{
+		id:        fmt.Sprintf("job-%06d", e.seq.Add(1)),
+		key:       requestKey(blif, req.Options, req.RenderSVG),
+		req:       req,
+		circuit:   circ,
+		ctx:       jctx,
+		cancel:    cancel,
+		state:     StateQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		cancel()
+		return nil, ErrClosed
+	}
+	e.jobWG.Add(1)
+	e.byID[j.id] = j
+	e.stats.Submitted++
+	e.mu.Unlock()
+
+	select {
+	case e.queue <- j:
+		return j, nil
+	case <-ctx.Done():
+		j.finish(StateCanceled, nil, ctx.Err())
+		e.countTerminal(StateCanceled)
+		e.jobWG.Done()
+		return nil, ctx.Err()
+	case <-e.closing:
+		j.finish(StateCanceled, nil, ErrClosed)
+		e.countTerminal(StateCanceled)
+		e.jobWG.Done()
+		return nil, ErrClosed
+	}
+}
+
+// Run is the synchronous convenience wrapper: submit and wait.
+func (e *Engine) Run(ctx context.Context, req Request) (*Outcome, error) {
+	j, err := e.Submit(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return j.Wait(ctx)
+}
+
+// Job returns a submitted job by ID.
+func (e *Engine) Job(id string) (*Job, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.byID[id]
+	return j, ok
+}
+
+// Jobs snapshots the status of every known job, ordered by ID.
+func (e *Engine) Jobs() []Status {
+	e.mu.Lock()
+	jobs := make([]*Job, 0, len(e.byID))
+	for _, j := range e.byID {
+		jobs = append(jobs, j)
+	}
+	e.mu.Unlock()
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].id < jobs[k].id })
+	out := make([]Status, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	return out
+}
+
+// Stats snapshots the engine counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	s := e.stats
+	s.Running = e.running
+	e.mu.Unlock()
+	s.Workers = e.cfg.Workers
+	s.QueueDepth = len(e.queue)
+	s.CacheEntries = e.cache.len()
+	return s
+}
+
+// Shutdown stops accepting jobs and drains the in-flight ones. If ctx
+// expires first, all unfinished jobs are cancelled; Shutdown still waits
+// for the workers to observe the cancellation before returning ctx's error.
+func (e *Engine) Shutdown(ctx context.Context) error {
+	e.mu.Lock()
+	if !e.closed {
+		e.closed = true
+		close(e.closing)
+	}
+	e.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		e.jobWG.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+		e.cancelAll()
+		<-drained // workers finish cancelled jobs promptly
+	}
+	e.stopOnce.Do(func() { close(e.stop) })
+	e.workerWG.Wait()
+	return err
+}
+
+// cancelAll cancels every non-terminal job.
+func (e *Engine) cancelAll() {
+	e.mu.Lock()
+	jobs := make([]*Job, 0, len(e.byID))
+	for _, j := range e.byID {
+		jobs = append(jobs, j)
+	}
+	e.mu.Unlock()
+	for _, j := range jobs {
+		j.Cancel()
+	}
+}
+
+func (e *Engine) worker() {
+	defer e.workerWG.Done()
+	for {
+		select {
+		case j := <-e.queue:
+			e.execute(j)
+		case <-e.stop:
+			// Drain any stragglers left behind by an expired Shutdown.
+			select {
+			case j := <-e.queue:
+				e.execute(j)
+			default:
+				return
+			}
+		}
+	}
+}
+
+// execute runs one job to a terminal state: cancellation check, cache
+// lookup, singleflight deduplication, then the guarded pipeline run.
+func (e *Engine) execute(j *Job) {
+	defer e.jobWG.Done()
+	queueWait := j.start(time.Now())
+	e.mu.Lock()
+	e.running++
+	e.stats.QueueWait += queueWait
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		e.running--
+		e.mu.Unlock()
+	}()
+
+	if err := j.ctx.Err(); err != nil {
+		e.finishJob(j, StateCanceled, nil, err)
+		return
+	}
+
+	if out, ok := e.cache.get(j.key); ok {
+		j.markCacheHit()
+		e.mu.Lock()
+		e.stats.CacheHits++
+		e.mu.Unlock()
+		e.finishJob(j, StateDone, out, nil)
+		return
+	}
+
+	e.mu.Lock()
+	e.stats.CacheMisses++
+	if f, ok := e.inflight[j.key]; ok {
+		// Identical request already executing: piggyback on its outcome.
+		e.stats.Deduped++
+		e.mu.Unlock()
+		j.markDeduped()
+		select {
+		case <-f.done:
+			if f.err != nil {
+				e.finishJob(j, classify(f.err), nil, f.err)
+			} else {
+				e.finishJob(j, StateDone, f.out, nil)
+			}
+		case <-j.ctx.Done():
+			e.finishJob(j, StateCanceled, nil, j.ctx.Err())
+		}
+		return
+	}
+	f := &flight{done: make(chan struct{})}
+	e.inflight[j.key] = f
+	e.mu.Unlock()
+
+	out, err := e.runGuarded(j)
+	f.out, f.err = out, err
+	e.mu.Lock()
+	delete(e.inflight, j.key)
+	e.mu.Unlock()
+	close(f.done)
+
+	if err != nil {
+		e.finishJob(j, classify(err), nil, err)
+		return
+	}
+	e.cache.add(j.key, out)
+	e.finishJob(j, StateDone, out, nil)
+}
+
+// classify maps an execution error to a terminal state.
+func classify(err error) State {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return StateCanceled
+	}
+	return StateFailed
+}
+
+// runGuarded executes the job body under its timeout with panic recovery:
+// a panicking flow fails its own job and increments the panic counter, but
+// the worker and the process survive.
+func (e *Engine) runGuarded(j *Job) (out *Outcome, err error) {
+	ctx := j.ctx
+	timeout := j.req.Timeout
+	if timeout == 0 {
+		timeout = e.cfg.DefaultTimeout
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			e.mu.Lock()
+			e.stats.Panics++
+			e.mu.Unlock()
+			out, err = nil, fmt.Errorf("engine: job %s panicked: %v", j.id, r)
+		}
+	}()
+	return e.run(ctx, j.circuit, j.req)
+}
+
+// finishJob moves a job to its terminal state and updates the counters.
+func (e *Engine) finishJob(j *Job, state State, out *Outcome, err error) {
+	runTime := j.finish(state, out, err)
+	e.mu.Lock()
+	e.stats.RunTime += runTime
+	e.mu.Unlock()
+	e.countTerminal(state)
+}
+
+func (e *Engine) countTerminal(state State) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	switch state {
+	case StateDone:
+		e.stats.Completed++
+	case StateFailed:
+		e.stats.Failed++
+	case StateCanceled:
+		e.stats.Canceled++
+	}
+}

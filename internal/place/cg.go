@@ -9,6 +9,7 @@
 package place
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -70,8 +71,9 @@ func (q *quadSystem) multiply(v, out []float64) {
 }
 
 // solve runs Jacobi-preconditioned conjugate gradient for one axis,
-// starting from x0 (which is overwritten with the solution).
-func (q *quadSystem) solve(rhs, x0 []float64, tol float64, maxIter int) (iters int, err error) {
+// starting from x0 (which is overwritten with the solution). The iteration
+// polls ctx every 32 steps so cancelled placements stop promptly.
+func (q *quadSystem) solve(ctx context.Context, rhs, x0 []float64, tol float64, maxIter int) (iters int, err error) {
 	n := q.n
 	if n == 0 {
 		return 0, nil
@@ -99,6 +101,11 @@ func (q *quadSystem) solve(rhs, x0 []float64, tol float64, maxIter int) (iters i
 		return 0, nil
 	}
 	for it := 0; it < maxIter; it++ {
+		if it&31 == 31 {
+			if cerr := ctx.Err(); cerr != nil {
+				return it, cerr
+			}
+		}
 		q.multiply(p, ap)
 		pap := dot(p, ap)
 		if pap <= 0 {

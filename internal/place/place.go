@@ -1,6 +1,7 @@
 package place
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -76,6 +77,13 @@ type pad struct {
 // connectivity, then the movable gates get a balanced quadratic placement
 // with recursive min-cut bipartitioning (GORDIAN-style).
 func Global(net *logic.Network, cellWidth func(logic.NodeID) float64, rowHeight float64, cfg Config) (*Result, error) {
+	return GlobalContext(context.Background(), net, cellWidth, rowHeight, cfg)
+}
+
+// GlobalContext is Global with cancellation: the partition levels and the
+// conjugate-gradient solver check ctx and abort promptly with ctx.Err()
+// when it is cancelled, so long placements can be interrupted.
+func GlobalContext(ctx context.Context, net *logic.Network, cellWidth func(logic.NodeID) float64, rowHeight float64, cfg Config) (*Result, error) {
 	if cfg.Utilization <= 0 || cfg.Utilization > 1 {
 		return nil, fmt.Errorf("place: bad utilization %v", cfg.Utilization)
 	}
@@ -123,7 +131,7 @@ func Global(net *logic.Network, cellWidth func(logic.NodeID) float64, rowHeight 
 	nets := buildNets(net, pads)
 
 	p := &placer{
-		net: net, cfg: cfg, die: die,
+		ctx: ctx, net: net, cfg: cfg, die: die,
 		movable: movable, idx: idx, pads: pads, nets: nets,
 		width: cellWidth, rowHeight: rowHeight,
 	}
@@ -218,6 +226,7 @@ func perimeterPoint(die geom.Rect, d float64) geom.Point {
 }
 
 type placer struct {
+	ctx       context.Context
 	net       *logic.Network
 	cfg       Config
 	die       geom.Rect
@@ -326,10 +335,10 @@ func (p *placer) solveQP(anchor []geom.Point, anchorW float64) error {
 			q.addFixed(i, anchorW, anchor[i].X, anchor[i].Y)
 		}
 	}
-	if _, err := q.solve(q.rhsX, p.x, p.cfg.CGTol, p.cfg.CGMaxIter); err != nil {
+	if _, err := q.solve(p.ctx, q.rhsX, p.x, p.cfg.CGTol, p.cfg.CGMaxIter); err != nil {
 		return err
 	}
-	_, err := q.solve(q.rhsY, p.y, p.cfg.CGTol, p.cfg.CGMaxIter)
+	_, err := q.solve(p.ctx, q.rhsY, p.y, p.cfg.CGTol, p.cfg.CGMaxIter)
 	return err
 }
 
@@ -423,6 +432,9 @@ func (p *placer) partition() ([]geom.Rect, error) {
 	regions := []*region{{rect: p.die, cells: all, area: total}}
 
 	for level := 1; level <= p.cfg.MaxLevels; level++ {
+		if err := p.ctx.Err(); err != nil {
+			return nil, err
+		}
 		split := false
 		var next []*region
 		for _, r := range regions {

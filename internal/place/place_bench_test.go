@@ -1,6 +1,7 @@
 package place
 
 import (
+	"context"
 	"testing"
 
 	"lily/internal/bench"
@@ -83,7 +84,7 @@ func BenchmarkCGSolve(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		x := make([]float64, n)
-		if _, err := q.solve(q.rhsX, x, 1e-6, 2000); err != nil {
+		if _, err := q.solve(context.Background(), q.rhsX, x, 1e-6, 2000); err != nil {
 			b.Fatal(err)
 		}
 	}

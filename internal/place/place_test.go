@@ -1,6 +1,7 @@
 package place
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -20,7 +21,7 @@ func TestCGSolvesSmallSystem(t *testing.T) {
 	q.addFixed(0, 1, 0, 0)
 	q.addFixed(2, 1, 4, 0)
 	x := make([]float64, 3)
-	if _, err := q.solve(q.rhsX, x, 1e-10, 100); err != nil {
+	if _, err := q.solve(context.Background(), q.rhsX, x, 1e-10, 100); err != nil {
 		t.Fatal(err)
 	}
 	want := []float64{1, 2, 3}
@@ -37,12 +38,12 @@ func TestCGSingularDetected(t *testing.T) {
 	q.rhsX[0] = 1      // inconsistent right-hand side
 	q.rhsX[1] = 1
 	x := make([]float64, 2)
-	if _, err := q.solve(q.rhsX, x, 1e-10, 100); err == nil {
+	if _, err := q.solve(context.Background(), q.rhsX, x, 1e-10, 100); err == nil {
 		t.Error("singular system not detected")
 	}
 	// An isolated vertex (zero diagonal) must also be rejected.
 	q2 := newQuadSystem(1)
-	if _, err := q2.solve(q2.rhsX, make([]float64, 1), 1e-10, 10); err == nil {
+	if _, err := q2.solve(context.Background(), q2.rhsX, make([]float64, 1), 1e-10, 10); err == nil {
 		t.Error("zero-diagonal system not detected")
 	}
 }

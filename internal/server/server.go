@@ -1,0 +1,286 @@
+// Package server implements lilyd's HTTP JSON API on top of the
+// concurrent flow engine. Endpoints:
+//
+//	POST /v1/jobs            submit a mapping job (benchmark or BLIF + options)
+//	GET  /v1/jobs            list job statuses
+//	GET  /v1/jobs/{id}       poll one job (optional ?wait=5s long-poll)
+//	GET  /v1/jobs/{id}/result  fetch the FlowResult of a finished job
+//	GET  /v1/jobs/{id}/svg     download the rendered layout SVG
+//	GET  /v1/benchmarks      list the built-in benchmark suite
+//	GET  /v1/stats           engine counters
+//	GET  /healthz            liveness probe
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"lily"
+	"lily/internal/engine"
+)
+
+// maxBodyBytes bounds uploaded BLIF sources (8 MiB).
+const maxBodyBytes = 8 << 20
+
+// Server routes lilyd's API onto an engine.
+type Server struct {
+	eng *engine.Engine
+	mux *http.ServeMux
+}
+
+// New builds the HTTP handler for an engine.
+func New(eng *engine.Engine) *Server {
+	s := &Server{eng: eng, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/svg", s.handleSVG)
+	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// SubmitRequest is the POST /v1/jobs body. Exactly one of Benchmark or
+// BLIF selects the circuit.
+type SubmitRequest struct {
+	// Benchmark names a built-in circuit (GET /v1/benchmarks).
+	Benchmark string `json:"benchmark,omitempty"`
+	// BLIF is an inline combinational BLIF source.
+	BLIF string `json:"blif,omitempty"`
+	// SVG requests a layout rendering, served at /v1/jobs/{id}/svg.
+	SVG bool `json:"svg,omitempty"`
+	// TimeoutMS bounds the job's run time in milliseconds.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Options tunes the flow.
+	Options JobOptions `json:"options"`
+}
+
+// JobOptions is the JSON surface of lily.FlowOptions.
+type JobOptions struct {
+	Mapper                    string  `json:"mapper,omitempty"`    // "lily" (default) | "mis"
+	Objective                 string  `json:"objective,omitempty"` // "area" (default) | "delay"
+	Library                   string  `json:"library,omitempty"`   // "big" (default) | "tiny"
+	WireWeight                float64 `json:"wire_weight,omitempty"`
+	AutoTune                  bool    `json:"autotune,omitempty"`
+	Verify                    bool    `json:"verify,omitempty"`
+	PreOptimize               bool    `json:"pre_optimize,omitempty"`
+	TwoPassDelay              bool    `json:"two_pass_delay,omitempty"`
+	FanoutOptimize            bool    `json:"fanout_optimize,omitempty"`
+	MaxFanout                 int     `json:"max_fanout,omitempty"`
+	AnnealPlacement           bool    `json:"anneal_placement,omitempty"`
+	ClockPeriodNS             float64 `json:"clock_period_ns,omitempty"`
+	ReplaceEvery              int     `json:"replace_every,omitempty"`
+	TreeMode                  bool    `json:"tree_mode,omitempty"`
+	LayoutDrivenDecomposition bool    `json:"layout_driven_decomposition,omitempty"`
+}
+
+// ToFlowOptions validates and converts the JSON options.
+func (o JobOptions) ToFlowOptions() (lily.FlowOptions, error) {
+	var opt lily.FlowOptions
+	switch o.Mapper {
+	case "", "lily":
+		opt.Mapper = lily.MapperLily
+	case "mis", "mis2.1":
+		opt.Mapper = lily.MapperMIS
+	default:
+		return opt, fmt.Errorf("unknown mapper %q (want \"lily\" or \"mis\")", o.Mapper)
+	}
+	switch o.Objective {
+	case "", "area":
+		opt.Objective = lily.ObjectiveArea
+	case "delay":
+		opt.Objective = lily.ObjectiveDelay
+	default:
+		return opt, fmt.Errorf("unknown objective %q (want \"area\" or \"delay\")", o.Objective)
+	}
+	switch o.Library {
+	case "", "big":
+		opt.Library = lily.LibraryBig
+	case "tiny":
+		opt.Library = lily.LibraryTiny
+	default:
+		return opt, fmt.Errorf("unknown library %q (want \"big\" or \"tiny\")", o.Library)
+	}
+	if o.WireWeight < 0 {
+		return opt, fmt.Errorf("wire_weight must be >= 0")
+	}
+	opt.WireWeight = o.WireWeight
+	opt.AutoTune = o.AutoTune
+	opt.VerifyEquivalence = o.Verify
+	opt.PreOptimize = o.PreOptimize
+	opt.TwoPassDelay = o.TwoPassDelay
+	opt.FanoutOptimize = o.FanoutOptimize
+	opt.MaxFanout = o.MaxFanout
+	opt.AnnealPlacement = o.AnnealPlacement
+	opt.ClockPeriodNS = o.ClockPeriodNS
+	opt.ReplaceEvery = o.ReplaceEvery
+	opt.TreeMode = o.TreeMode
+	opt.LayoutDrivenDecomposition = o.LayoutDrivenDecomposition
+	return opt, nil
+}
+
+// SubmitResponse acknowledges a submission.
+type SubmitResponse struct {
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Status string `json:"status_url"`
+	Result string `json:"result_url"`
+	SVG    string `json:"svg_url,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	opt, err := req.Options.ToFlowOptions()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ereq := engine.Request{
+		Benchmark: req.Benchmark,
+		Options:   opt,
+		RenderSVG: req.SVG,
+		Timeout:   time.Duration(req.TimeoutMS) * time.Millisecond,
+	}
+	if req.BLIF != "" {
+		ereq.BLIF = []byte(req.BLIF)
+	}
+	// The job must outlive this HTTP request: detach it from r.Context().
+	j, err := s.eng.Submit(context.Background(), ereq)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, engine.ErrClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err)
+		return
+	}
+	resp := SubmitResponse{
+		ID:     j.ID(),
+		State:  j.Status().State,
+		Status: "/v1/jobs/" + j.ID(),
+		Result: "/v1/jobs/" + j.ID() + "/result",
+	}
+	if req.SVG {
+		resp.SVG = "/v1/jobs/" + j.ID() + "/svg"
+	}
+	writeJSON(w, http.StatusAccepted, resp)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.eng.Jobs())
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.eng.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	// Optional long-poll: ?wait=5s blocks until the job terminates or the
+	// wait elapses, then reports whatever state the job is in.
+	if waitStr := r.URL.Query().Get("wait"); waitStr != "" {
+		d, err := time.ParseDuration(waitStr)
+		if err != nil || d < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad wait duration %q", waitStr))
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		_, _ = j.Wait(ctx)
+		cancel()
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	_, out, ok := s.finishedJob(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, out.Result)
+}
+
+func (s *Server) handleSVG(w http.ResponseWriter, r *http.Request) {
+	j, out, ok := s.finishedJob(w, r)
+	if !ok {
+		return
+	}
+	if len(out.SVG) == 0 {
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("job %s was submitted without \"svg\": true", j.ID()))
+		return
+	}
+	w.Header().Set("Content-Type", "image/svg+xml")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(out.SVG)
+}
+
+// finishedJob resolves {id} to a successfully finished job, writing the
+// appropriate error response otherwise.
+func (s *Server) finishedJob(w http.ResponseWriter, r *http.Request) (*engine.Job, *engine.Outcome, bool) {
+	j, ok := s.eng.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return nil, nil, false
+	}
+	st := j.Status()
+	switch st.State {
+	case "done":
+		return j, j.Outcome(), true
+	case "failed", "canceled":
+		writeError(w, http.StatusUnprocessableEntity,
+			fmt.Errorf("job %s %s: %s", j.ID(), st.State, st.Error))
+		return nil, nil, false
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("job %s is %s; poll %s", j.ID(), st.State, "/v1/jobs/"+j.ID()))
+		return nil, nil, false
+	}
+}
+
+func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, lily.BenchmarkNames())
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.eng.Stats())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// Headers are already out; nothing better to do than drop it.
+		_ = err
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}

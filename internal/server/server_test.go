@@ -1,0 +1,279 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"lily"
+	"lily/internal/engine"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *engine.Engine) {
+	t.Helper()
+	eng := engine.New(engine.Config{Workers: 2})
+	ts := httptest.NewServer(New(eng))
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = eng.Shutdown(ctx)
+	})
+	return ts, eng
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decode[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return v
+}
+
+// TestSubmitPollResultSVG is the end-to-end session the README documents:
+// submit a benchmark job, poll it to completion, fetch the FlowResult, and
+// download the layout SVG.
+func TestSubmitPollResultSVG(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	resp := postJSON(t, ts.URL+"/v1/jobs", SubmitRequest{
+		Benchmark: "misex1",
+		SVG:       true,
+		Options:   JobOptions{Mapper: "lily", Objective: "area"},
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", resp.StatusCode)
+	}
+	sub := decode[SubmitResponse](t, resp)
+	if sub.ID == "" || sub.Status == "" || sub.SVG == "" {
+		t.Fatalf("incomplete submit response: %+v", sub)
+	}
+
+	// Poll (with long-poll waits) until the job terminates.
+	var status engine.Status
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		r, err := http.Get(ts.URL + sub.Status + "?wait=2s")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("poll status = %d, want 200", r.StatusCode)
+		}
+		status = decode[engine.Status](t, r)
+		if status.State == "done" || status.State == "failed" || status.State == "canceled" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in state %q", status.State)
+		}
+	}
+	if status.State != "done" {
+		t.Fatalf("job finished %s (%s), want done", status.State, status.Error)
+	}
+	if status.RunTime <= 0 {
+		t.Fatalf("finished job reports no run time: %+v", status)
+	}
+
+	r, err := http.Get(ts.URL + sub.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("result status = %d, want 200", r.StatusCode)
+	}
+	res := decode[lily.FlowResult](t, r)
+	if res.Circuit != "misex1" || res.Gates == 0 || res.ChipAreaMM2 <= 0 {
+		t.Fatalf("implausible FlowResult: %+v", res)
+	}
+
+	r, err = http.Get(ts.URL + sub.SVG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("svg status = %d, want 200", r.StatusCode)
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "image/svg+xml" {
+		t.Fatalf("svg content-type = %q", ct)
+	}
+	var svg bytes.Buffer
+	if _, err := svg.ReadFrom(r.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg.String(), "<svg") {
+		t.Fatalf("svg body missing <svg element (%d bytes)", svg.Len())
+	}
+}
+
+func TestSubmitUploadedBLIF(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	// Round-trip a benchmark through its BLIF serialization so the upload
+	// path exercises a realistic netlist.
+	c, err := lily.GenerateBenchmark("misex1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blif strings.Builder
+	if err := c.WriteBLIF(&blif); err != nil {
+		t.Fatal(err)
+	}
+	resp := postJSON(t, ts.URL+"/v1/jobs", SubmitRequest{
+		BLIF:    blif.String(),
+		Options: JobOptions{Mapper: "mis"},
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", resp.StatusCode)
+	}
+	sub := decode[SubmitResponse](t, resp)
+
+	r, err := http.Get(ts.URL + sub.Status + "?wait=30s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	status := decode[engine.Status](t, r)
+	if status.State != "done" {
+		t.Fatalf("uploaded-BLIF job state = %s (%s), want done", status.State, status.Error)
+	}
+	r, err = http.Get(ts.URL + sub.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := decode[lily.FlowResult](t, r)
+	if res.Gates == 0 {
+		t.Fatalf("empty mapping from uploaded BLIF: %+v", res)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"no source", `{"options":{}}`, http.StatusBadRequest},
+		{"unknown benchmark", `{"benchmark":"nope"}`, http.StatusBadRequest},
+		{"bad mapper", `{"benchmark":"misex1","options":{"mapper":"abc"}}`, http.StatusBadRequest},
+		{"bad objective", `{"benchmark":"misex1","options":{"objective":"speed"}}`, http.StatusBadRequest},
+		{"unknown field", `{"benchmark":"misex1","bogus":1}`, http.StatusBadRequest},
+		{"garbage", `{{{`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status = %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+
+	r, err := http.Get(ts.URL + "/v1/jobs/job-424242")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job status = %d, want 404", r.StatusCode)
+	}
+	r, err = http.Get(ts.URL + "/v1/jobs/job-424242/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job result status = %d, want 404", r.StatusCode)
+	}
+}
+
+func TestResultBeforeCompletionConflicts(t *testing.T) {
+	eng := engine.New(engine.Config{
+		Workers: 1,
+		Run: func(ctx context.Context, c *lily.Circuit, req engine.Request) (*engine.Outcome, error) {
+			<-ctx.Done()
+			return nil, ctx.Err()
+		},
+	})
+	ts := httptest.NewServer(New(eng))
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = eng.Shutdown(ctx)
+	}()
+
+	resp := postJSON(t, ts.URL+"/v1/jobs", SubmitRequest{Benchmark: "misex1"})
+	sub := decode[SubmitResponse](t, resp)
+	r, err := http.Get(ts.URL + sub.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusConflict {
+		t.Fatalf("early result fetch status = %d, want 409", r.StatusCode)
+	}
+}
+
+func TestStatsBenchmarksHealth(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	r, err := http.Get(ts.URL + "/v1/benchmarks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := decode[[]string](t, r)
+	if len(names) != len(lily.BenchmarkNames()) {
+		t.Fatalf("benchmarks = %d entries, want %d", len(names), len(lily.BenchmarkNames()))
+	}
+
+	r, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := decode[engine.Stats](t, r)
+	if stats.Workers != 2 {
+		t.Fatalf("stats.Workers = %d, want 2", stats.Workers)
+	}
+
+	r, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	health := decode[map[string]string](t, r)
+	if health["status"] != "ok" {
+		t.Fatalf("health = %v", health)
+	}
+
+	r, err = http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := decode[[]engine.Status](t, r); len(got) != 0 {
+		t.Fatalf("fresh server lists %d jobs, want 0", len(got))
+	}
+}

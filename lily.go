@@ -14,8 +14,11 @@
 package lily
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"lily/internal/bench"
 	"lily/internal/core"
@@ -78,6 +81,12 @@ func (c *Circuit) WriteBLIF(w io.Writer) error { return logic.WriteBLIF(w, c.net
 
 // Name returns the circuit name.
 func (c *Circuit) Name() string { return c.net.Name }
+
+// Clone returns a deep, structurally identical copy of the circuit (node
+// IDs and orderings preserved, so flows over a clone are byte-identical to
+// flows over the original). Clones isolate concurrent pipeline runs that
+// would otherwise share one network.
+func (c *Circuit) Clone() *Circuit { return &Circuit{net: c.net.Clone()} }
 
 // Stats describes a circuit.
 type Stats struct {
@@ -287,15 +296,29 @@ func (r *FlowResult) String() string {
 // RunFlow executes one full pipeline: premap → (global place) → map →
 // detailed place → route model → timing.
 func RunFlow(c *Circuit, opt FlowOptions) (*FlowResult, error) {
+	return RunFlowContext(context.Background(), c, opt)
+}
+
+// RunFlowContext is RunFlow with cancellation: the long-running phases
+// (global placement iterations, Lily's per-cone mapping loop) poll ctx and
+// abort promptly with its error when it is cancelled or times out, so
+// callers — notably the concurrent flow engine — can bound and cancel
+// in-flight pipeline runs.
+func RunFlowContext(ctx context.Context, c *Circuit, opt FlowOptions) (*FlowResult, error) {
 	if opt.AutoTune && opt.Mapper == MapperLily {
-		return runPortfolio(c, opt)
+		return runPortfolio(ctx, c, opt)
 	}
-	return runFlowOnce(c, opt)
+	return runFlowOnce(ctx, c, opt)
 }
 
 // runPortfolio tries the Lily flow under a handful of §5-inspired
-// configurations and keeps the best measured result.
-func runPortfolio(c *Circuit, opt FlowOptions) (*FlowResult, error) {
+// configurations concurrently and keeps the best measured result. A
+// failing variant is skipped rather than aborting the portfolio; the
+// portfolio fails only when every variant fails. Each variant runs on its
+// own clone of the circuit, and the winner is chosen by a deterministic
+// in-order scan, so the outcome is identical to the historical sequential
+// evaluation.
+func runPortfolio(ctx context.Context, c *Circuit, opt FlowOptions) (*FlowResult, error) {
 	base := opt
 	base.AutoTune = false
 	variants := []func(FlowOptions) FlowOptions{
@@ -304,15 +327,33 @@ func runPortfolio(c *Circuit, opt FlowOptions) (*FlowResult, error) {
 		func(o FlowOptions) FlowOptions { o.ReplaceEvery = 10; return o },
 		func(o FlowOptions) FlowOptions { o.WireWeight = 0.5; return o },
 	}
+	results := make([]*FlowResult, len(variants))
+	errs := make([]error, len(variants))
+	var wg sync.WaitGroup
+	for i, v := range variants {
+		wg.Add(1)
+		go func(i int, vopt FlowOptions) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = fmt.Errorf("lily: portfolio variant %d panicked: %v", i, r)
+				}
+			}()
+			results[i], errs[i] = runFlowOnce(ctx, c.Clone(), vopt)
+		}(i, v(base))
+	}
+	wg.Wait()
 	var best *FlowResult
-	for _, v := range variants {
-		res, err := runFlowOnce(c, v(base))
-		if err != nil {
-			return nil, err
+	for i, res := range results {
+		if errs[i] != nil || res == nil {
+			continue
 		}
 		if best == nil || betterResult(res, best, opt.Objective) {
 			best = res
 		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("lily: all portfolio variants failed: %w", errors.Join(errs...))
 	}
 	return best, nil
 }
@@ -337,7 +378,13 @@ type SVGOptions struct {
 // RenderLayoutSVG runs a pipeline and writes the finished layout as an SVG
 // image to w, returning the flow metrics.
 func RenderLayoutSVG(c *Circuit, opt FlowOptions, w io.Writer, svgOpt SVGOptions) (*FlowResult, error) {
-	res, lres, err := runPipeline(c, opt)
+	return RenderLayoutSVGContext(context.Background(), c, opt, w, svgOpt)
+}
+
+// RenderLayoutSVGContext is RenderLayoutSVG with cancellation (see
+// RunFlowContext).
+func RenderLayoutSVGContext(ctx context.Context, c *Circuit, opt FlowOptions, w io.Writer, svgOpt SVGOptions) (*FlowResult, error) {
+	res, lres, err := runPipeline(ctx, c, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -353,7 +400,7 @@ func RenderLayoutSVG(c *Circuit, opt FlowOptions, w io.Writer, svgOpt SVGOptions
 // SIS-style .gate BLIF (with placement attached as #@ directives), so
 // external tools can consume the result.
 func WriteMappedBLIF(c *Circuit, opt FlowOptions, w io.Writer) (*FlowResult, error) {
-	res, lres, err := runPipeline(c, opt)
+	res, lres, err := runPipeline(context.Background(), c, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -363,12 +410,15 @@ func WriteMappedBLIF(c *Circuit, opt FlowOptions, w io.Writer) (*FlowResult, err
 	return res, nil
 }
 
-func runFlowOnce(c *Circuit, opt FlowOptions) (*FlowResult, error) {
-	res, _, err := runPipeline(c, opt)
+func runFlowOnce(ctx context.Context, c *Circuit, opt FlowOptions) (*FlowResult, error) {
+	res, _, err := runPipeline(ctx, c, opt)
 	return res, err
 }
 
-func runPipeline(c *Circuit, opt FlowOptions) (*FlowResult, *layout.Result, error) {
+func runPipeline(ctx context.Context, c *Circuit, opt FlowOptions) (*FlowResult, *layout.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	lib := library.Big()
 	if opt.Library == LibraryTiny {
 		lib = library.Tiny()
@@ -389,7 +439,7 @@ func runPipeline(c *Circuit, opt FlowOptions) (*FlowResult, *layout.Result, erro
 	var pre *decomp.Result
 	var err error
 	if opt.LayoutDrivenDecomposition {
-		pre, err = placedPremap(c.net, lib)
+		pre, err = placedPremap(ctx, c.net, lib)
 	} else {
 		pre, err = decomp.Premap(c.net)
 	}
@@ -397,6 +447,9 @@ func runPipeline(c *Circuit, opt FlowOptions) (*FlowResult, *layout.Result, erro
 		return nil, nil, err
 	}
 	sub := pre.Inchoate
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 
 	var nl *netlist.Netlist
 	var lilyStats core.LifecycleStats
@@ -410,7 +463,7 @@ func runPipeline(c *Circuit, opt FlowOptions) (*FlowResult, *layout.Result, erro
 		copt.ReplaceEvery = opt.ReplaceEvery
 		copt.Place.NaivePads = opt.NaivePads
 		copt.TwoPassDelay = opt.TwoPassDelay
-		res, err := core.Map(sub, lib, copt)
+		res, err := core.MapContext(ctx, sub, lib, copt)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -459,6 +512,9 @@ func runPipeline(c *Circuit, opt FlowOptions) (*FlowResult, *layout.Result, erro
 		}
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	lopt := layout.DefaultOptions()
 	lopt.Anneal = opt.AnnealPlacement
 	lres, err := layout.Place(nl, lib, lopt)
@@ -545,8 +601,8 @@ func wireModel(e WireEstimator) wire.Model {
 // place the source network (gates approximated by the NAND2 base cell),
 // then decompose each node with its literals ordered by recursive spatial
 // bipartition of their placed positions.
-func placedPremap(net *logic.Network, lib *library.Library) (*decomp.Result, error) {
-	pr, err := place.Global(net, func(logic.NodeID) float64 { return lib.Nand2.Width },
+func placedPremap(ctx context.Context, net *logic.Network, lib *library.Library) (*decomp.Result, error) {
+	pr, err := place.GlobalContext(ctx, net, func(logic.NodeID) float64 { return lib.Nand2.Width },
 		lib.RowHeight, place.DefaultConfig())
 	if err != nil {
 		return nil, err
