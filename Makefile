@@ -1,0 +1,38 @@
+# Lily build/test/lint entry points. Everything is stdlib-only Go; the
+# lint target builds the project's own analysis suite (cmd/lilylint,
+# DESIGN.md §9) and runs it through the go vet driver.
+
+GO ?= go
+BIN ?= bin
+
+.PHONY: all build test lint race fmt clean
+
+all: build test lint
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the concurrency-sensitive packages (engine, server, the
+# top-level flow API) without paying for -race on the whole suite.
+race:
+	$(GO) test -race ./internal/engine/ ./internal/server/ .
+
+$(BIN)/lilylint: FORCE
+	@mkdir -p $(BIN)
+	$(GO) build -o $(BIN)/lilylint ./cmd/lilylint
+
+FORCE:
+
+lint: $(BIN)/lilylint
+	$(GO) vet -vettool=$(abspath $(BIN)/lilylint) ./...
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; fi
+
+fmt:
+	gofmt -w .
+
+clean:
+	rm -rf $(BIN)

@@ -1,0 +1,80 @@
+// Command lilylint is the project's static-analysis suite. It runs in
+// two modes:
+//
+//	lilylint ./...                         standalone, offline loader
+//	go vet -vettool=$(which lilylint) ./... vet driver (unitchecker protocol)
+//
+// The suite enforces the invariants documented in DESIGN.md: map
+// iteration determinism in mapping packages (maporder), context
+// cancellation in long-running loops (ctxloop), float-equality hygiene
+// in cost packages (floateq), and lock discipline for methods
+// documented `requires e.mu` (lockheld).
+//
+// Exit codes: 0 clean, 1 findings, 2 operational error.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"lily/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args))
+}
+
+func run(argv []string) int {
+	progname := filepath.Base(argv[0])
+	args := argv[1:]
+
+	// go vet driver handshake: the go command probes the tool's
+	// identity (-V=full, folded into the build cache key) and its flag
+	// set (-flags, a JSON array) before sending package configs.
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "--V=full":
+			// Shape required by the go command's tool-ID parser:
+			// "<name> version <non-devel-version>".
+			fmt.Printf("%s version 1.0.0\n", progname)
+			return 0
+		case a == "-flags" || a == "--flags":
+			fmt.Println("[]")
+			return 0
+		case a == "-h" || a == "-help" || a == "--help":
+			fmt.Fprintf(os.Stderr, "usage: %s [package pattern ...]\n", progname)
+			fmt.Fprintf(os.Stderr, "   or: go vet -vettool=$(which %s) ./...\n", progname)
+			fmt.Fprintf(os.Stderr, "\nAnalyzers:\n")
+			for _, an := range lint.Analyzers {
+				doc := an.Doc
+				if i := strings.IndexByte(doc, '\n'); i >= 0 {
+					doc = doc[:i]
+				}
+				fmt.Fprintf(os.Stderr, "  %-10s %s\n", an.Name, doc)
+			}
+			return 0
+		}
+	}
+
+	// Unitchecker mode: a single *.cfg argument written by the go
+	// command describes one package unit.
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		code, err := lint.RunUnit(args[0], os.Stderr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		}
+		return code
+	}
+
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	code, err := lint.RunStandalone(".", patterns, os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+	}
+	return code
+}

@@ -278,6 +278,7 @@ func (lm *lily) run() (*Result, error) {
 		return nil, err
 	}
 	// Attach Lily's constructive placement.
+	//lint:sorted each ref targets a distinct cell slot; writes are disjoint
 	for id, ref := range refs {
 		if !ref.IsPI {
 			nl.Cells[ref.Index].Pos = lm.hawkPos[id]

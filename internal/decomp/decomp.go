@@ -199,6 +199,7 @@ func premap(src *logic.Network, pos map[logic.NodeID]geom.Point) (*Result, error
 	b.net.Sweep()
 	// Dead source logic produces subject nodes that sweeping removes; drop
 	// their stale root entries.
+	//lint:sorted Node() is a pure read and per-key deletes commute
 	for id, sub := range root {
 		if b.net.Node(sub) == nil {
 			delete(root, id)

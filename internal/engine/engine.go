@@ -189,8 +189,10 @@ func (e *Engine) Submit(ctx context.Context, req Request) (*Job, error) {
 		return nil, err
 	}
 	jctx, cancel := context.WithCancel(ctx)
+	seq := e.seq.Add(1)
 	j := &Job{
-		id:        fmt.Sprintf("job-%06d", e.seq.Add(1)),
+		id:        fmt.Sprintf("job-%06d", seq),
+		seq:       seq,
 		key:       requestKey(blif, req.Options, req.RenderSVG),
 		req:       req,
 		circuit:   circ,
@@ -216,12 +218,16 @@ func (e *Engine) Submit(ctx context.Context, req Request) (*Job, error) {
 		return j, nil
 	case <-ctx.Done():
 		j.finish(StateCanceled, nil, ctx.Err())
-		e.countTerminal(StateCanceled)
+		e.mu.Lock()
+		e.countTerminalLocked(StateCanceled)
+		e.mu.Unlock()
 		e.jobWG.Done()
 		return nil, ctx.Err()
 	case <-e.closing:
 		j.finish(StateCanceled, nil, ErrClosed)
-		e.countTerminal(StateCanceled)
+		e.mu.Lock()
+		e.countTerminalLocked(StateCanceled)
+		e.mu.Unlock()
 		e.jobWG.Done()
 		return nil, ErrClosed
 	}
@@ -244,7 +250,9 @@ func (e *Engine) Job(id string) (*Job, bool) {
 	return j, ok
 }
 
-// Jobs snapshots the status of every known job, ordered by ID.
+// Jobs snapshots the status of every known job, ordered by submit
+// sequence. (Sorting by the ID string would misorder once the zero-padded
+// counter overflows six digits: "job-1000000" < "job-999999" lexically.)
 func (e *Engine) Jobs() []Status {
 	e.mu.Lock()
 	jobs := make([]*Job, 0, len(e.byID))
@@ -252,7 +260,7 @@ func (e *Engine) Jobs() []Status {
 		jobs = append(jobs, j)
 	}
 	e.mu.Unlock()
-	sort.Slice(jobs, func(i, k int) bool { return jobs[i].id < jobs[k].id })
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].seq < jobs[k].seq })
 	out := make([]Status, len(jobs))
 	for i, j := range jobs {
 		out[i] = j.Status()
@@ -432,18 +440,18 @@ func (e *Engine) runGuarded(j *Job) (out *Outcome, err error) {
 	return e.run(ctx, j.circuit, j.req)
 }
 
-// finishJob moves a job to its terminal state and updates the counters.
+// finishJob moves a job to its terminal state and updates the counters
+// in one critical section.
 func (e *Engine) finishJob(j *Job, state State, out *Outcome, err error) {
 	runTime := j.finish(state, out, err)
 	e.mu.Lock()
 	e.stats.RunTime += runTime
+	e.countTerminalLocked(state)
 	e.mu.Unlock()
-	e.countTerminal(state)
 }
 
-func (e *Engine) countTerminal(state State) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+// countTerminalLocked bumps the terminal-state counter; requires e.mu.
+func (e *Engine) countTerminalLocked(state State) {
 	switch state {
 	case StateDone:
 		e.stats.Completed++

@@ -371,3 +371,37 @@ func TestKeyNormalization(t *testing.T) {
 		t.Fatalf("Lily-only knobs should normalize away under MIS")
 	}
 }
+
+func TestJobsOrderedBySubmitSequence(t *testing.T) {
+	e := New(Config{Workers: 1, Run: func(ctx context.Context, c *lily.Circuit, req Request) (*Outcome, error) {
+		return fakeOutcome(req.Benchmark), nil
+	}})
+	defer shutdown(t, e)
+
+	// Seed the counter so the IDs cross the six-digit zero-padding
+	// boundary: "job-1000000" sorts before "job-999999" as a string, so
+	// ordering the listing by ID would misreport the submit order here.
+	e.seq.Store(999998)
+
+	ctx := context.Background()
+	var want []string
+	for i := 0; i < 4; i++ {
+		j, err := e.Submit(ctx, Request{Benchmark: "misex1"})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		if _, err := j.Wait(ctx); err != nil {
+			t.Fatalf("wait %d: %v", i, err)
+		}
+		want = append(want, j.ID())
+	}
+	got := e.Jobs()
+	if len(got) != len(want) {
+		t.Fatalf("Jobs() returned %d statuses, want %d", len(got), len(want))
+	}
+	for i, st := range got {
+		if st.ID != want[i] {
+			t.Fatalf("Jobs()[%d].ID = %s, want %s (submit order)", i, st.ID, want[i])
+		}
+	}
+}

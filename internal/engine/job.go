@@ -78,6 +78,7 @@ type Outcome struct {
 // Job is a handle on a submitted request.
 type Job struct {
 	id      string
+	seq     uint64 // engine-wide submit sequence; orders job listings
 	key     string
 	req     Request
 	circuit *lily.Circuit

@@ -286,7 +286,15 @@ func checkSim(src *logic.Network, nl *netlist.Netlist, opt Options) (*Result, er
 		if err != nil {
 			return nil, err
 		}
+		// Iterate outputs in sorted order so the reported FailingOutput is
+		// deterministic when several outputs disagree on the same vector
+		// (map order would pick an arbitrary one per run).
+		names := make([]string, 0, len(want))
 		for name := range want {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
 			if want[name] != got[name] {
 				res.Equivalent = false
 				res.FailingOutput = name

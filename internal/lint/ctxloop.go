@@ -1,0 +1,286 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxLoopAnalyzer keeps solver loops cancellable. In any function that
+// receives a context.Context, a `for` loop whose trip count is not
+// statically bounded must contain a cancellation checkpoint: a
+// ctx.Err()/ctx.Done() check, a select on ctx.Done(), or a call that
+// forwards ctx (which is assumed to check it). This mirrors the PR-1
+// checkpoints in the placement solver, the conjugate-gradient loop, and
+// the cone-matching loop: without them a runaway iteration ignores
+// Shutdown, per-job timeouts, and client disconnects.
+//
+// A loop counts as statically bounded when its condition compares
+// against a constant, len(...), or cap(...). `range` loops are bounded
+// by construction (ranging over a channel is not, and is flagged).
+// Justify a deliberately unchecked loop with `//lint:bounded <why>`.
+var CtxLoopAnalyzer = &Analyzer{
+	Name:          "ctxloop",
+	Doc:           "flags unbounded loops without a ctx checkpoint in context-accepting functions",
+	Justification: "bounded",
+	Run:           runCtxLoop,
+}
+
+func runCtxLoop(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			var ftype *ast.FuncType
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body, ftype = fn.Body, fn.Type
+			case *ast.FuncLit:
+				body, ftype = fn.Body, fn.Type
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			ctxNames := contextParams(pass, ftype)
+			if len(ctxNames) == 0 {
+				return true
+			}
+			checkCtxLoops(pass, body, ctxNames)
+			// Nested function literals get their own visit (and their own
+			// parameter check), so don't descend into them twice: the walk
+			// below continues naturally and the FuncLit case re-triggers.
+			return true
+		})
+	}
+	return nil
+}
+
+// contextParams returns the names of parameters typed context.Context.
+func contextParams(pass *Pass, ftype *ast.FuncType) map[string]bool {
+	names := make(map[string]bool)
+	if ftype.Params == nil {
+		return names
+	}
+	for _, field := range ftype.Params.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok || !isContextType(tv.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				names[name.Name] = true
+			}
+		}
+	}
+	return names
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// checkCtxLoops walks the body flagging unbounded loops without a
+// checkpoint. Loops nested inside an unbounded flagged loop are still
+// checked (an inner spin loop hides from an outer checkpoint).
+func checkCtxLoops(pass *Pass, body *ast.BlockStmt, ctxNames map[string]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false // different function, different contract
+		}
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			// The condition and post-statement count too: `for ctx.Err() ==
+			// nil { ... }` is a checkpoint in the condition.
+			if loopBounded(pass, loop) || hasCtxCheckpoint(pass, loop, ctxNames) {
+				return true
+			}
+			pass.Reportf(loop.Pos(),
+				"add `if err := ctx.Err(); err != nil { return ... }` inside the loop, or forward ctx to a callee that checks it",
+				"unbounded for loop in a context-accepting function has no cancellation checkpoint")
+		case *ast.RangeStmt:
+			// Ranging over a channel can block forever without a ctx guard.
+			tv, ok := pass.TypesInfo.Types[loop.X]
+			if !ok {
+				return true
+			}
+			if _, isChan := tv.Type.Underlying().(*types.Chan); !isChan {
+				return true
+			}
+			if hasCtxCheckpoint(pass, loop.Body, ctxNames) {
+				return true
+			}
+			pass.Reportf(loop.Pos(),
+				"use `for { select { case v, ok := <-ch: ...; case <-ctx.Done(): return ctx.Err() } }` instead",
+				"range over a channel in a context-accepting function has no cancellation checkpoint")
+		}
+		return true
+	})
+}
+
+// loopBounded reports whether the for loop's trip count is statically
+// bounded: its condition is a comparison with a constant, len(...), or
+// cap(...) on either side, a conjunction containing such a bound, or the
+// loop has canonical counter shape (`for i := lo; i < hi; i++`), whose
+// trip count is fixed once the bound expression is evaluated.
+func loopBounded(pass *Pass, loop *ast.ForStmt) bool {
+	return condBounded(pass, loop.Cond) || counterShaped(loop)
+}
+
+// counterShaped matches `for i := init; i <op> bound; i++/i--/i += k`:
+// init introduces or assigns the counter, post steps it, cond compares
+// it. Such loops terminate unless the body rewrites the bound — exotic
+// enough that flag-driven loops (`for changed {}`) remain the target.
+func counterShaped(loop *ast.ForStmt) bool {
+	if loop.Init == nil || loop.Cond == nil || loop.Post == nil {
+		return false
+	}
+	var counter string
+	switch init := loop.Init.(type) {
+	case *ast.AssignStmt:
+		if len(init.Lhs) != 1 {
+			return false
+		}
+		id, ok := unparen(init.Lhs[0]).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		counter = id.Name
+	default:
+		return false
+	}
+	switch post := loop.Post.(type) {
+	case *ast.IncDecStmt:
+		id, ok := unparen(post.X).(*ast.Ident)
+		if !ok || id.Name != counter {
+			return false
+		}
+	case *ast.AssignStmt:
+		if post.Tok != token.ADD_ASSIGN && post.Tok != token.SUB_ASSIGN {
+			return false
+		}
+		if len(post.Lhs) != 1 {
+			return false
+		}
+		id, ok := unparen(post.Lhs[0]).(*ast.Ident)
+		if !ok || id.Name != counter {
+			return false
+		}
+	default:
+		return false
+	}
+	cond, ok := unparen(loop.Cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch cond.Op {
+	case token.LSS, token.LEQ, token.GTR, token.GEQ, token.NEQ:
+	default:
+		return false
+	}
+	for _, side := range []ast.Expr{cond.X, cond.Y} {
+		if id, ok := unparen(side).(*ast.Ident); ok && id.Name == counter {
+			return true
+		}
+	}
+	return false
+}
+
+func condBounded(pass *Pass, cond ast.Expr) bool {
+	switch c := cond.(type) {
+	case nil:
+		return false
+	case *ast.ParenExpr:
+		return condBounded(pass, c.X)
+	case *ast.BinaryExpr:
+		switch c.Op {
+		case token.LAND, token.LOR:
+			// i < n && !done: the conjunct bound still bounds the loop.
+			// For ||, both arms must be bounded.
+			if c.Op == token.LAND {
+				return condBounded(pass, c.X) || condBounded(pass, c.Y)
+			}
+			return condBounded(pass, c.X) && condBounded(pass, c.Y)
+		case token.LSS, token.LEQ, token.GTR, token.GEQ, token.NEQ:
+			return boundedOperand(pass, c.X) || boundedOperand(pass, c.Y)
+		}
+	}
+	return false
+}
+
+// boundedOperand reports whether e is a compile-time constant or a
+// len/cap call — the shapes we accept as static loop bounds.
+func boundedOperand(pass *Pass, e ast.Expr) bool {
+	if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+		return true
+	}
+	if call, ok := e.(*ast.CallExpr); ok {
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			if _, isB := pass.TypesInfo.Uses[id].(*types.Builtin); isB && (id.Name == "len" || id.Name == "cap") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// hasCtxCheckpoint reports whether the loop (excluding nested function
+// literals) checks or forwards any of the context parameters.
+func hasCtxCheckpoint(pass *Pass, loop ast.Node, ctxNames map[string]bool) bool {
+	found := false
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			// ctx.Err(), ctx.Done(), ctx.Deadline(), ctx.Value() — any
+			// method call on the context counts as a checkpoint only for
+			// Err/Done; Value/Deadline don't observe cancellation.
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok && ctxNames[id.Name] {
+					if sel.Sel.Name == "Err" || sel.Sel.Name == "Done" {
+						found = true
+						return false
+					}
+				}
+			}
+			// A call forwarding ctx as any argument delegates the check.
+			for _, arg := range x.Args {
+				if id, ok := unparen(arg).(*ast.Ident); ok && ctxNames[id.Name] {
+					found = true
+					return false
+				}
+				// context.WithTimeout(ctx, ...) etc. appear as calls whose
+				// args include ctx — covered above. Derived contexts like
+				// trace-wrapped selectors are matched structurally:
+				if sel, ok := unparen(arg).(*ast.SelectorExpr); ok {
+					if id, ok := sel.X.(*ast.Ident); ok && ctxNames[id.Name] {
+						found = true
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,69 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"lily/internal/lint"
+	"lily/internal/lint/linttest"
+)
+
+func fixture(t *testing.T, name string) string {
+	t.Helper()
+	abs, err := filepath.Abs(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+func TestMapOrder(t *testing.T) {
+	linttest.Run(t, lint.MapOrderAnalyzer, fixture(t, "maporder"))
+}
+
+func TestCtxLoop(t *testing.T) {
+	linttest.Run(t, lint.CtxLoopAnalyzer, fixture(t, "ctxloop"))
+}
+
+func TestFloatEq(t *testing.T) {
+	linttest.Run(t, lint.FloatEqAnalyzer, fixture(t, "floateq"))
+}
+
+func TestLockHeld(t *testing.T) {
+	linttest.Run(t, lint.LockHeldAnalyzer, fixture(t, "lockheld"))
+}
+
+func TestAnalyzersForScoping(t *testing.T) {
+	names := func(as []*lint.Analyzer) []string {
+		out := make([]string, len(as))
+		for i, a := range as {
+			out[i] = a.Name
+		}
+		return out
+	}
+	cases := []struct {
+		path string
+		want []string
+	}{
+		{"lily/internal/cover", []string{"ctxloop", "floateq", "lockheld", "maporder"}},
+		{"lily/internal/opt", []string{"ctxloop", "lockheld", "maporder"}},
+		{"lily/internal/engine", []string{"ctxloop", "lockheld"}},
+		{"lily/internal/server", []string{"ctxloop", "lockheld"}},
+		{"lily", []string{"ctxloop", "lockheld"}},
+		{"fmt", nil},
+		{"lilyx/internal/cover", nil}, // prefix confusion must not leak analyzers
+	}
+	for _, c := range cases {
+		got := names(lint.AnalyzersFor(c.path))
+		if len(got) != len(c.want) {
+			t.Errorf("AnalyzersFor(%q) = %v, want %v", c.path, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("AnalyzersFor(%q) = %v, want %v", c.path, got, c.want)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,348 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"sort"
+)
+
+// LockHeldAnalyzer enforces the repo's lock-discipline convention and
+// catches mutexes copied by value.
+//
+// Convention: a method whose doc comment contains "requires x.mu" (for
+// any receiver name x) must only be called while x.mu is held. The
+// analyzer resolves every call to such a method and checks, with a
+// straight-line scan of the calling function, that a matching
+// `x.mu.Lock()` precedes the call without an intervening non-deferred
+// `x.mu.Unlock()`. Calls made from another "requires mu" method of the
+// same type are trusted (the obligation moves to that method's own
+// callers). The scan is linear over source order, so a Lock inside one
+// branch does not license a call in a sibling branch — structure the
+// critical section so the scan can see it, or justify with
+// `//lint:locked <why>`.
+//
+// Copy check: sync.Mutex / sync.RWMutex values (or structs directly
+// embedding them) must not be copied — by-value receivers, by-value
+// params/results, value assignments from existing variables, and range
+// values over containers of such types are flagged.
+var LockHeldAnalyzer = &Analyzer{
+	Name:          "lockheld",
+	Doc:           "flags 'requires mu' methods called without the lock and mutexes copied by value",
+	Justification: "locked",
+	Run:           runLockHeld,
+}
+
+var requiresMuRE = regexp.MustCompile(`requires\s+(\w+\.)?mu\b`)
+
+func runLockHeld(pass *Pass) error {
+	locked := collectLockedMethods(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunctionLocks(pass, fn, locked)
+		}
+	}
+	checkMutexCopies(pass)
+	return nil
+}
+
+// collectLockedMethods maps *types.Func objects of methods documented
+// "requires ... mu" to true.
+func collectLockedMethods(pass *Pass) map[*types.Func]bool {
+	locked := make(map[*types.Func]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || fn.Doc == nil {
+				continue
+			}
+			if !requiresMuRE.MatchString(fn.Doc.Text()) {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func); ok {
+				locked[obj] = true
+			}
+		}
+	}
+	return locked
+}
+
+// lockEvent is one mu.Lock/mu.Unlock call in a function, in source order.
+type lockEvent struct {
+	pos      int // token.Pos as int for sorting
+	owner    ast.Expr
+	lock     bool // Lock/RLock vs Unlock/RUnlock
+	deferred bool
+}
+
+// checkFunctionLocks verifies every call to a locked method inside fn.
+func checkFunctionLocks(pass *Pass, fn *ast.FuncDecl, locked map[*types.Func]bool) {
+	self, _ := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+	selfLocked := self != nil && locked[self]
+
+	events := collectLockEvents(pass, fn.Body)
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false // separate goroutine/closure: no lock inheritance
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		callee, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || !locked[callee] {
+			return true
+		}
+		// Calling another locked method from a locked method of the same
+		// receiver is the sanctioned composition pattern.
+		if selfLocked && sameReceiverType(self, callee) {
+			return true
+		}
+		if lockHeldAt(events, sel.X, int(call.Pos())) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"acquire the lock first (x.mu.Lock(); defer x.mu.Unlock()) or call from a method documented `requires mu`",
+			"call to %s (documented `requires mu`) without holding the lock", callee.Name())
+		return true
+	})
+}
+
+func sameReceiverType(a, b *types.Func) bool {
+	ra, rb := a.Type().(*types.Signature).Recv(), b.Type().(*types.Signature).Recv()
+	if ra == nil || rb == nil {
+		return false
+	}
+	return types.Identical(derefType(ra.Type()), derefType(rb.Type()))
+}
+
+func derefType(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// collectLockEvents finds x.mu.Lock()/Unlock() (and RLock/RUnlock) calls
+// directly in the function body (not in nested function literals).
+func collectLockEvents(pass *Pass, body *ast.BlockStmt) []lockEvent {
+	var events []lockEvent
+	var walk func(n ast.Node, deferred bool)
+	walk = func(root ast.Node, deferred bool) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			if _, isLit := n.(*ast.FuncLit); isLit {
+				return false
+			}
+			if d, isDefer := n.(*ast.DeferStmt); isDefer {
+				walk(d.Call, true)
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			method := sel.Sel.Name
+			isLock := method == "Lock" || method == "RLock"
+			isUnlock := method == "Unlock" || method == "RUnlock"
+			if !isLock && !isUnlock {
+				return true
+			}
+			// The receiver must be a selector ending in .mu (our naming
+			// convention) whose type is a sync mutex.
+			muSel, ok := sel.X.(*ast.SelectorExpr)
+			if !ok || muSel.Sel.Name != "mu" {
+				return true
+			}
+			if tv, ok := pass.TypesInfo.Types[sel.X]; !ok || !isSyncMutex(derefType(tv.Type)) {
+				return true
+			}
+			events = append(events, lockEvent{
+				pos:      int(call.Pos()),
+				owner:    muSel.X,
+				lock:     isLock,
+				deferred: deferred,
+			})
+			return true
+		})
+	}
+	walk(body, false)
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	return events
+}
+
+func isSyncMutex(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// lockHeldAt replays the lock events preceding pos in source order and
+// reports whether owner's mutex is held there. Deferred unlocks release
+// at function exit, so they do not clear the held state mid-scan.
+func lockHeldAt(events []lockEvent, owner ast.Expr, pos int) bool {
+	held := false
+	for _, ev := range events {
+		if ev.pos >= pos {
+			break
+		}
+		if !sameIdentChain(ev.owner, owner) {
+			continue
+		}
+		switch {
+		case ev.lock:
+			held = true
+		case ev.deferred:
+			// releases at return, not here
+		default:
+			held = false
+		}
+	}
+	return held
+}
+
+// checkMutexCopies flags values of mutex-containing types copied by
+// value: receivers, params, results, assignments from existing values,
+// and range values.
+func checkMutexCopies(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				if x.Recv != nil {
+					for _, field := range x.Recv.List {
+						checkFieldCopy(pass, field, "receiver")
+					}
+				}
+				checkFuncTypeCopy(pass, x.Type)
+			case *ast.FuncLit:
+				checkFuncTypeCopy(pass, x.Type)
+			case *ast.AssignStmt:
+				for i, rhs := range x.Rhs {
+					// Assigning to blank discards the value; no copy escapes.
+					if len(x.Lhs) == len(x.Rhs) && isBlank(x.Lhs[i]) {
+						continue
+					}
+					checkValueCopy(pass, rhs)
+				}
+			case *ast.RangeStmt:
+				if x.Value != nil && !isBlank(x.Value) {
+					if t := exprType(pass, x.Value); t != nil && containsMutex(t) {
+						pass.Reportf(x.Value.Pos(),
+							"range over indices (or a slice of pointers) instead",
+							"range value copies %s, which contains a sync mutex", typeString(t))
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// exprType resolves an expression's type, falling back to the defined
+// object for `:=`-introduced idents (range variables live in Defs, not
+// in the Types map).
+func exprType(pass *Pass, e ast.Expr) types.Type {
+	if tv, ok := pass.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj, ok := pass.TypesInfo.Defs[id]; ok && obj != nil {
+			return obj.Type()
+		}
+		if obj, ok := pass.TypesInfo.Uses[id]; ok {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+func checkFuncTypeCopy(pass *Pass, ftype *ast.FuncType) {
+	if ftype.Params != nil {
+		for _, field := range ftype.Params.List {
+			checkFieldCopy(pass, field, "parameter")
+		}
+	}
+	if ftype.Results != nil {
+		for _, field := range ftype.Results.List {
+			checkFieldCopy(pass, field, "result")
+		}
+	}
+}
+
+func checkFieldCopy(pass *Pass, field *ast.Field, what string) {
+	tv, ok := pass.TypesInfo.Types[field.Type]
+	if !ok {
+		return
+	}
+	if containsMutex(tv.Type) {
+		pass.Reportf(field.Pos(),
+			"pass a pointer instead",
+			"by-value %s copies %s, which contains a sync mutex", what, typeString(tv.Type))
+	}
+}
+
+// checkValueCopy flags RHS expressions that read an existing
+// mutex-containing value (ident, selector, deref, index). Fresh values
+// (composite literals, function call results) are fine.
+func checkValueCopy(pass *Pass, rhs ast.Expr) {
+	switch unparen(rhs).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+	default:
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[rhs]
+	if !ok || !containsMutex(tv.Type) {
+		return
+	}
+	// Reading through a pointer type is fine; the copy happens only for
+	// value types (checked by containsMutex already rejecting pointers).
+	pass.Reportf(rhs.Pos(),
+		"copy a pointer to the value, or restructure to avoid the copy",
+		"assignment copies %s, which contains a sync mutex", typeString(tv.Type))
+}
+
+// containsMutex reports whether t directly is or embeds (through struct
+// fields and arrays, not pointers/slices/maps) a sync.Mutex/RWMutex.
+func containsMutex(t types.Type) bool {
+	return containsMutexRec(t, make(map[types.Type]bool))
+}
+
+func containsMutexRec(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if isSyncMutex(t) {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsMutexRec(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsMutexRec(u.Elem(), seen)
+	}
+	return false
+}

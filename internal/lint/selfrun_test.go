@@ -1,0 +1,61 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lily/internal/lint"
+)
+
+// TestAllAnalyzers is the self-run: every package in the module must be
+// clean under its applicable analyzers, so `go test ./...` fails the
+// moment someone introduces an unsorted map range into internal/cover,
+// an uncancellable solver loop, a raw float cost comparison, or an
+// unlocked call to a `requires mu` method. This is the repo-level
+// enforcement the CI lint job mirrors via `go vet -vettool`.
+func TestAllAnalyzers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages from %s; loader pattern expansion looks broken", len(pkgs), root)
+	}
+	sawDeterministic := false
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			// The tree builds (tier-1 guarantees it), so any type error here
+			// is a loader defect worth failing loudly on.
+			t.Errorf("%s: type error: %v", pkg.Path, terr)
+		}
+		analyzers := lint.AnalyzersFor(pkg.Path)
+		if len(analyzers) == 0 {
+			continue
+		}
+		if strings.Contains(pkg.Path, "internal/cover") {
+			sawDeterministic = true
+		}
+		findings, err := lint.RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.Path, err)
+		}
+		for _, f := range findings {
+			t.Errorf("%s", f)
+		}
+	}
+	if !sawDeterministic {
+		t.Error("self-run never visited internal/cover; package walk is broken")
+	}
+}

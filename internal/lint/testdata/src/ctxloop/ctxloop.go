@@ -1,0 +1,160 @@
+// Package ctxloop is the fixture for the ctxloop analyzer: unbounded
+// loops inside context-accepting functions must stay cancellable.
+package ctxloop
+
+import "context"
+
+// Flagged: condition-free loop with no checkpoint.
+func spin(ctx context.Context, work func() bool) {
+	for { // want `no cancellation checkpoint`
+		if !work() {
+			return
+		}
+	}
+}
+
+// Flagged: data-dependent trip count, no checkpoint — the exact shape of
+// a solver convergence loop that must poll ctx.
+func converge(ctx context.Context, step func() float64) float64 {
+	cost := step()
+	improved := true
+	for improved { // want `no cancellation checkpoint`
+		next := step()
+		improved = next < cost
+		cost = next
+	}
+	return cost
+}
+
+// Allowed: explicit ctx.Err() checkpoint.
+func convergeChecked(ctx context.Context, step func() float64) (float64, error) {
+	cost := step()
+	improved := true
+	for improved {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		next := step()
+		improved = next < cost
+		cost = next
+	}
+	return cost, nil
+}
+
+// Allowed: select on ctx.Done().
+func pump(ctx context.Context, in <-chan int, sink func(int)) {
+	for {
+		select {
+		case v := <-in:
+			sink(v)
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// Allowed: checkpoint in the loop condition.
+func condCheck(ctx context.Context, work func()) {
+	for ctx.Err() == nil {
+		work()
+	}
+}
+
+// Allowed: forwarding ctx to a callee delegates the check.
+func delegate(ctx context.Context, phase func(context.Context) bool) {
+	for {
+		if !phase(ctx) {
+			return
+		}
+	}
+}
+
+// Allowed: statically bounded trip count.
+func boundedRetry(ctx context.Context, attempt func() bool) bool {
+	for i := 0; i < 3; i++ {
+		if attempt() {
+			return true
+		}
+	}
+	return false
+}
+
+// Allowed: bounded by len().
+func scan(ctx context.Context, xs []int, visit func(int)) {
+	for i := 0; i < len(xs); i++ {
+		visit(xs[i])
+	}
+}
+
+// Allowed: canonical counter shape over a variable bound — the trip
+// count is fixed once n is evaluated (the CG solver inner-loop shape).
+func axpy(ctx context.Context, n int, x, y []float64, a float64) {
+	for i := 0; i < n; i++ {
+		y[i] += a * x[i]
+	}
+}
+
+// Flagged: a data-dependent bound rewritten each iteration is not a
+// counter loop (cond compares two mutating variables).
+func chase(ctx context.Context, next func(int) int) int {
+	i, limit := 0, 100
+	for i < limit { // want `no cancellation checkpoint`
+		i = next(i)
+		limit = next(limit)
+	}
+	return i
+}
+
+// Allowed: range over a slice terminates.
+func visitAll(ctx context.Context, xs []int, visit func(int)) {
+	for _, x := range xs {
+		visit(x)
+	}
+}
+
+// Flagged: range over a channel can block forever without a ctx guard.
+func drain(ctx context.Context, ch <-chan int, sink func(int)) {
+	for v := range ch { // want `no cancellation checkpoint`
+		sink(v)
+	}
+}
+
+// Allowed: justified — the caller guarantees the channel closes.
+func drainJustified(ctx context.Context, ch <-chan int, sink func(int)) {
+	//lint:bounded producer closes ch before ctx can expire
+	for v := range ch {
+		sink(v)
+	}
+}
+
+// No ctx parameter: analyzer does not apply, even to unbounded loops.
+func freeSpin(work func() bool) {
+	for {
+		if !work() {
+			return
+		}
+	}
+}
+
+// Function literals get their own contract: the outer function's ctx
+// does not license an unchecked loop inside a goroutine closure...
+func spawns(ctx context.Context, work func() bool) {
+	go func() {
+		for { // inner function has no ctx parameter: not this analyzer's job
+			if !work() {
+				return
+			}
+		}
+	}()
+}
+
+// ...but a literal that itself takes ctx is checked.
+func literalWithCtx() func(context.Context, func() bool) {
+	return func(ctx context.Context, work func() bool) {
+		for { // want `no cancellation checkpoint`
+			if !work() {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Package floateq is the fixture for the floateq analyzer: raw ==/!=
+// between float cost expressions is rounding-order sensitive.
+package floateq
+
+import "math"
+
+const eps = 1e-9
+
+type match struct {
+	area  float64
+	delay float64
+}
+
+// Flagged: exact equality between two computed costs.
+func sameCost(a, b match) bool {
+	return a.area == b.area // want `exact == between float expressions`
+}
+
+// Flagged: inequality is just as rounding-sensitive.
+func differentDelay(a, b match) bool {
+	return a.delay != b.delay // want `exact != between float expressions`
+}
+
+// Flagged: arithmetic results compared exactly.
+func cancels(x, y float64) bool {
+	return x+y == y+x // want `exact == between float expressions`
+}
+
+// Flagged: math.Inf is a call, not a constant — use IsInf.
+func isInfinite(cost float64) bool {
+	return cost == math.Inf(1) // want `exact == between float expressions`
+}
+
+// Allowed: comparison against the literal-0 unset sentinel.
+func isUnset(weight float64) bool {
+	return weight == 0
+}
+
+// Allowed: any compile-time constant sentinel.
+func isDisabled(weight float64) bool {
+	return weight == -1
+}
+
+// Allowed: named constant.
+func atEps(x float64) bool {
+	return x == eps
+}
+
+// Allowed: NaN self-check.
+func isNaN(x float64) bool {
+	return x != x
+}
+
+// Allowed: NaN self-check through a selector chain.
+func fieldNaN(m match) bool {
+	return m.delay != m.delay
+}
+
+// Allowed: epsilon comparison, the recommended fix.
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) < eps
+}
+
+// Allowed: ordering comparisons are fine; only ==/!= are flagged.
+func better(a, b match) bool {
+	return a.area < b.area
+}
+
+// Allowed: integers compare exactly by definition.
+func sameCount(a, b int) bool {
+	return a == b
+}
+
+// Allowed: justified exact comparison — values copied, never computed.
+func unchangedCopy(orig, snapshot float64) bool {
+	//lint:exact snapshot is a bitwise copy, never recomputed
+	return orig == snapshot
+}

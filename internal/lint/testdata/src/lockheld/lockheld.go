@@ -1,0 +1,130 @@
+// Package lockheld is the fixture for the lockheld analyzer: methods
+// documented "requires x.mu" must be called with the lock held, and
+// sync mutexes must not be copied by value.
+package lockheld
+
+import "sync"
+
+// Counter is the miniature Engine: a mutex, guarded state, and locked
+// helper methods following the `// requires c.mu` doc convention.
+type Counter struct {
+	mu    sync.Mutex
+	total int
+	byKey map[string]int
+}
+
+// bumpLocked increments the counters.
+// requires c.mu.
+func (c *Counter) bumpLocked(key string) {
+	c.total++
+	c.byKey[key]++
+}
+
+// snapshotLocked reads the total. requires c.mu.
+func (c *Counter) snapshotLocked() int {
+	return c.total
+}
+
+// Bump is the public entry point: lock, then call the locked helper.
+func (c *Counter) Bump(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bumpLocked(key)
+}
+
+// BumpTwo holds the lock across two locked calls.
+func (c *Counter) BumpTwo(a, b string) {
+	c.mu.Lock()
+	c.bumpLocked(a)
+	c.bumpLocked(b)
+	c.mu.Unlock()
+}
+
+// Racy forgets the lock entirely.
+func (c *Counter) Racy(key string) {
+	c.bumpLocked(key) // want `without holding the lock`
+}
+
+// AfterUnlock calls the helper after releasing.
+func (c *Counter) AfterUnlock(key string) int {
+	c.mu.Lock()
+	c.bumpLocked(key)
+	c.mu.Unlock()
+	return c.snapshotLocked() // want `without holding the lock`
+}
+
+// bulkLocked composes locked helpers: fine, the obligation moves to
+// bulkLocked's callers. requires c.mu.
+func (c *Counter) bulkLocked(keys []string) {
+	for _, k := range keys {
+		c.bumpLocked(k)
+	}
+}
+
+// FreeFunctionRacy shows the check also applies outside methods.
+func FreeFunctionRacy(c *Counter) {
+	c.bumpLocked("x") // want `without holding the lock`
+}
+
+// FreeFunctionLocked is the correct free-function form.
+func FreeFunctionLocked(c *Counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bumpLocked("x")
+}
+
+// Justified: the counter is still private to this goroutine.
+func NewBumped(key string) *Counter {
+	c := &Counter{byKey: make(map[string]int)}
+	//lint:locked c is not yet shared, no lock needed during construction
+	c.bumpLocked(key)
+	return c
+}
+
+// --- mutex copy cases ---
+
+// Flagged: by-value receiver copies the mutex.
+func (c Counter) ValueReceiver() int { // want `by-value receiver copies`
+	return c.total
+}
+
+// Flagged: by-value parameter.
+func drain(c Counter) {} // want `by-value parameter copies`
+
+// Flagged: by-value result.
+func produce() (c Counter) { return } // want `by-value result copies`
+
+// Flagged: assignment copies an existing value.
+func snapshot(c *Counter) {
+	cp := *c // want `copies lockheld.Counter`
+	_ = cp
+}
+
+// Flagged: range value copies each element.
+func sum(cs []Counter) int {
+	n := 0
+	for _, c := range cs { // want `range value copies`
+		n += c.total
+	}
+	return n
+}
+
+// Allowed: pointers never copy the mutex.
+func viaPointer(c *Counter) *Counter {
+	p := c
+	return p
+}
+
+// Allowed: factories hand out pointers, never mutex-bearing values.
+func fresh() *Counter {
+	c := Counter{byKey: make(map[string]int)} // composite literal: fresh, not a copy
+	return &c
+}
+
+// Allowed: a struct without a mutex can be copied freely.
+type plain struct{ n int }
+
+func copyPlain(p plain) plain {
+	q := p
+	return q
+}

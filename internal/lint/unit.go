@@ -1,0 +1,218 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// This file implements the two driver entry points for cmd/lilylint:
+//
+//   - RunStandalone: load package patterns with the offline Loader and
+//     run the applicable analyzers (the `lilylint ./...` mode).
+//   - RunUnit: the `go vet -vettool` unitchecker protocol. The go
+//     command type-checks the build graph itself and hands each
+//     package unit to the tool as a JSON config file naming the Go
+//     files and the export data of every dependency; the tool
+//     type-checks just that unit against the export data and reports.
+//
+// Exit-code contract shared by both: 0 clean, 1 findings, 2
+// operational error (the caller maps errors to 2).
+
+// unitConfig mirrors the JSON config the go command writes for vet
+// tools. Fields we do not consume are listed for documentation but
+// left untouched.
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnit executes one unitchecker invocation described by the config
+// file at cfgPath, printing findings to w. It always writes the (empty)
+// facts file the go command expects, so vet result caching works even
+// for packages the suite does not apply to.
+func RunUnit(cfgPath string, w io.Writer) (int, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return 2, fmt.Errorf("reading vet config: %w", err)
+	}
+	var cfg unitConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 2, fmt.Errorf("parsing vet config %s: %w", cfgPath, err)
+	}
+	// The go command requires the facts output file to exist; we carry
+	// no cross-package facts, so an empty file is always correct.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return 2, fmt.Errorf("writing facts output: %w", err)
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency-only visit: facts written, no diagnostics wanted.
+		return 0, nil
+	}
+
+	// "p [p.test]" style test variants analyze the same base sources;
+	// strip the variant suffix so package scoping still applies.
+	importPath := cfg.ImportPath
+	if i := strings.Index(importPath, " ["); i >= 0 {
+		importPath = importPath[:i]
+	}
+	analyzers := AnalyzersFor(importPath)
+	if len(analyzers) == 0 {
+		return 0, nil // outside the module: nothing to do
+	}
+
+	// The lint contract covers non-test sources (the self-run test and
+	// standalone mode agree); skip _test.go files from test variants.
+	var fileNames []string
+	for _, fn := range cfg.GoFiles {
+		if !strings.HasSuffix(fn, "_test.go") {
+			fileNames = append(fileNames, fn)
+		}
+	}
+	if len(fileNames) == 0 {
+		return 0, nil
+	}
+
+	fset := token.NewFileSet()
+	pkg := &Package{Path: importPath, Dir: cfg.Dir, Fset: fset}
+	for _, fn := range fileNames {
+		f, err := parser.ParseFile(fset, fn, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return 2, err
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+
+	// Imports resolve through the compiler export data the go command
+	// already produced for every dependency: ImportMap rewrites the
+	// source-level path to the canonical one, PackageFile locates the
+	// export file.
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	gcImporter := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	conf := types.Config{
+		GoVersion: cfg.GoVersion,
+		Importer: importerFunc(func(path, _ string) (*types.Package, error) {
+			if path == "unsafe" {
+				return types.Unsafe, nil
+			}
+			if mapped, ok := cfg.ImportMap[path]; ok {
+				path = mapped
+			}
+			return gcImporter.Import(path)
+		}),
+		Error: func(err error) {
+			pkg.TypeErrors = append(pkg.TypeErrors, err)
+		},
+	}
+	pkg.Info = newInfo()
+	tpkg, err := conf.Check(importPath, fset, pkg.Files, pkg.Info)
+	if err != nil || len(pkg.TypeErrors) > 0 {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		if err == nil {
+			err = pkg.TypeErrors[0]
+		}
+		return 2, fmt.Errorf("type-checking %s: %w", importPath, err)
+	}
+	pkg.Types = tpkg
+
+	findings, err := RunAnalyzers(pkg, analyzers)
+	if err != nil {
+		return 2, err
+	}
+	for _, f := range findings {
+		fmt.Fprintln(w, f.String())
+	}
+	if len(findings) > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// RunStandalone loads the given package patterns (relative to the
+// module containing dir) with the offline loader and runs the
+// applicable analyzers, printing findings to w.
+func RunStandalone(dir string, patterns []string, w io.Writer) (int, error) {
+	root, err := findModuleRoot(dir)
+	if err != nil {
+		return 2, err
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		return 2, err
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		return 2, err
+	}
+	total := 0
+	for _, pkg := range pkgs {
+		analyzers := AnalyzersFor(pkg.Path)
+		if len(analyzers) == 0 {
+			continue
+		}
+		findings, err := RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			return 2, err
+		}
+		for _, f := range findings {
+			fmt.Fprintln(w, f.String())
+		}
+		total += len(findings)
+	}
+	if total > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// findModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func findModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}

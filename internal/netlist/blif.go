@@ -69,6 +69,7 @@ func ParseBLIF(r io.Reader, lib *library.Library) (*Netlist, error) {
 	}
 	var gates []gateLine
 	var outputs []string
+	sawModel := false
 	place := make(map[string]geom.Point)
 	pads := make(map[string]geom.Point)
 
@@ -97,6 +98,10 @@ func ParseBLIF(r io.Reader, lib *library.Library) (*Netlist, error) {
 		f := strings.Fields(line)
 		switch f[0] {
 		case ".model":
+			if sawModel {
+				return nil, fmt.Errorf("netlist: duplicate .model directive (multi-model BLIF is not supported)")
+			}
+			sawModel = true
 			if len(f) > 1 {
 				nl.Name = f[1]
 			}
@@ -155,6 +160,7 @@ func ParseBLIF(r io.Reader, lib *library.Library) (*Netlist, error) {
 		progressed := false
 		for _, gl := range pending {
 			ready := true
+			//lint:sorted all-pins-resolved predicate; result independent of visit order
 			for _, sig := range gl.pins {
 				if _, ok := refOf[sig]; !ok {
 					ready = false

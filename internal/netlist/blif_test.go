@@ -60,19 +60,36 @@ func TestMappedBLIFRoundTrip(t *testing.T) {
 
 func TestMappedBLIFErrors(t *testing.T) {
 	lib := library.Big()
-	cases := map[string]string{
-		"unknown-gate": ".model m\n.inputs a\n.outputs y\n.gate frob a=a z=y\n.end",
-		"pin-count":    ".model m\n.inputs a\n.outputs y\n.gate and2 a=a z=y\n.end",
-		"bad-pin":      ".model m\n.inputs a b\n.outputs y\n.gate and2 a=a q=b z=y\n.end",
-		"no-output":    ".model m\n.inputs a\n.outputs y\n.gate inv a=a\n.end",
-		"undriven":     ".model m\n.inputs a\n.outputs y\n.end",
-		"redriven":     ".model m\n.inputs a\n.outputs y\n.gate inv a=a z=y\n.gate inv a=a z=y\n.end",
-		"names":        ".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n.end",
-		"cycle":        ".model m\n.inputs a\n.outputs y\n.gate and2 a=a b=y z=x\n.gate inv a=x z=y\n.end",
+	cases := []struct {
+		name    string
+		src     string
+		wantErr string // substring the error must contain
+	}{
+		{"unknown-gate", ".model m\n.inputs a\n.outputs y\n.gate frob a=a z=y\n.end", "unknown gate"},
+		{"pin-count", ".model m\n.inputs a\n.outputs y\n.gate and2 a=a z=y\n.end", "wants 2"},
+		{"bad-pin", ".model m\n.inputs a b\n.outputs y\n.gate and2 a=a q=b z=y\n.end", "pin"},
+		{"no-output", ".model m\n.inputs a\n.outputs y\n.gate inv a=a\n.end", "without output"},
+		{"short-gate", ".model m\n.inputs a\n.outputs y\n.gate inv\n.end", "malformed .gate"},
+		{"bad-binding", ".model m\n.inputs a\n.outputs y\n.gate inv aa z=y\n.end", "malformed pin binding"},
+		{"undriven", ".model m\n.inputs a\n.outputs y\n.end", "never driven"},
+		{"redriven", ".model m\n.inputs a\n.outputs y\n.gate inv a=a z=y\n.gate inv a=a z=y\n.end", "driven twice"},
+		{"dup-model", ".model m\n.inputs a\n.outputs y\n.model m2\n.gate inv a=a z=y\n.end", "duplicate .model"},
+		{"names", ".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n.end", "unsupported construct"},
+		// A latch (sequential element) in a mapped combinational netlist is
+		// rejected up front rather than leaving a dangling latch input.
+		{"latch", ".model m\n.inputs a\n.outputs y\n.latch a y re clk 0\n.end", "unsupported construct"},
+		{"subckt", ".model m\n.inputs a\n.outputs y\n.subckt sub x=a y=y\n.end", "unsupported construct"},
+		{"unknown-directive", ".model m\n.inputs a\n.outputs y\n.clock c\n.end", "unknown directive"},
+		{"cycle", ".model m\n.inputs a\n.outputs y\n.gate and2 a=a b=y z=x\n.gate inv a=x z=y\n.end", "unresolvable"},
 	}
-	for name, src := range cases {
-		if _, err := ParseBLIF(strings.NewReader(src), lib); err == nil {
-			t.Errorf("%s: accepted", name)
+	for _, tc := range cases {
+		_, err := ParseBLIF(strings.NewReader(tc.src), lib)
+		if err == nil {
+			t.Errorf("%s: accepted, want error containing %q", tc.name, tc.wantErr)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not contain %q", tc.name, err, tc.wantErr)
 		}
 	}
 }

@@ -2,7 +2,6 @@ package opt
 
 import (
 	"fmt"
-	"sort"
 
 	"lily/internal/logic"
 )
@@ -64,21 +63,22 @@ func bestPair(net *logic.Network) (pairKey, int) {
 			}
 		}
 	}
+	// Single-pass max with a total tie-break: strictly greater count wins,
+	// ties fall to the pairLess-smallest key, so the winner is independent
+	// of map visit order — same answer as the old collect-keys-and-sort
+	// pass without the O(n log n) sort per greedy round.
 	var best pairKey
 	bestCount := 0
-	keys := make([]pairKey, 0, len(counts))
-	for k := range counts {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return pairLess(keys[i], keys[j]) })
-	for _, k := range keys {
-		if counts[k] > bestCount {
-			best, bestCount = k, counts[k]
+	//lint:sorted max with total pairLess tie-break is order-insensitive
+	for k, n := range counts {
+		if n > bestCount || (n == bestCount && pairLess(k, best)) {
+			best, bestCount = k, n
 		}
 	}
 	return best, bestCount
 }
 
+// pairLess is a total order on pairKeys (the bestPair tie-break).
 func pairLess(a, b pairKey) bool {
 	if a.a.node != b.a.node {
 		return a.a.node < b.a.node

@@ -483,11 +483,13 @@ func (p *placer) splitRegion(r *region, areas []float64) (*region, *region) {
 	cells := append([]int(nil), r.cells...)
 	sort.SliceStable(cells, func(a, b int) bool {
 		if horiz {
+			//lint:exact comparator tie-break: exact != keeps the order strict-weak
 			if p.x[cells[a]] != p.x[cells[b]] {
 				return p.x[cells[a]] < p.x[cells[b]]
 			}
 			return cells[a] < cells[b]
 		}
+		//lint:exact comparator tie-break: exact != keeps the order strict-weak
 		if p.y[cells[a]] != p.y[cells[b]] {
 			return p.y[cells[a]] < p.y[cells[b]]
 		}
