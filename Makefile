@@ -5,7 +5,7 @@
 GO ?= go
 BIN ?= bin
 
-.PHONY: all build test lint race fmt clean
+.PHONY: all build test lint race soak fmt clean
 
 all: build test lint
 
@@ -19,6 +19,12 @@ test:
 # top-level flow API) without paying for -race on the whole suite.
 race:
 	$(GO) test -race ./internal/engine/ ./internal/server/ .
+
+# Job-lifecycle soak: registry-bound + eviction tests under -race,
+# repeated to surface scheduling-order flakes (see DESIGN.md §8).
+soak:
+	$(GO) test -race -count=5 -run 'Soak|Retain|Evict|LoadShed|QueueFull|Follower' \
+		./internal/engine/ ./internal/server/
 
 $(BIN)/lilylint: FORCE
 	@mkdir -p $(BIN)

@@ -5,9 +5,16 @@
 // result cache, singleflight dedup); SIGINT/SIGTERM trigger a graceful
 // shutdown that drains in-flight jobs.
 //
+// The daemon is built for sustained job streams: terminal jobs are
+// retained boundedly (-max-jobs, oldest evicted first) and aged out
+// (-retain); evicted IDs answer 410 Gone. A full submit queue sheds load
+// with 429 Too Many Requests + Retry-After instead of hanging the
+// connection, and the listener enforces header/idle timeouts against
+// slow clients.
+//
 // Usage:
 //
-//	lilyd -addr :8080 -workers 8 -cache 256 -timeout 5m
+//	lilyd -addr :8080 -workers 8 -cache 256 -timeout 5m -max-jobs 4096 -retain 1h
 //
 // Example session:
 //
@@ -37,21 +44,38 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker-pool size")
-	queue := flag.Int("queue", 0, "submit-queue depth (0 = 4x workers)")
+	queue := flag.Int("queue", 0, "submit-queue capacity (0 = 4x workers)")
 	cache := flag.Int("cache", 256, "result-cache entries (negative disables)")
 	timeout := flag.Duration("timeout", 10*time.Minute, "default per-job timeout (0 = none)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	maxJobs := flag.Int("max-jobs", 4096,
+		"terminal jobs retained for status/result fetches; oldest evicted first (negative = unlimited)")
+	retain := flag.Duration("retain", time.Hour,
+		"drop terminal jobs older than this (0 = keep until evicted)")
 	flag.Parse()
 
 	eng := engine.New(engine.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheEntries:   *cache,
-		DefaultTimeout: *timeout,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheEntries:    *cache,
+		DefaultTimeout:  *timeout,
+		MaxRetainedJobs: *maxJobs,
+		RetainFor:       *retain,
+		// A network service must never park a connection on a full
+		// queue; shed load and let the handler answer 429 + Retry-After.
+		LoadShed: true,
 	})
 	srv := &http.Server{
 		Addr:    *addr,
 		Handler: server.New(eng),
+		// Defenses against slow or abusive clients: a peer may not dribble
+		// headers forever, idle keep-alives are reaped, and headers are
+		// size-capped. No WriteTimeout — the server-side ?wait clamp
+		// already bounds long-polls, and SVG downloads may be large.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute, // full request incl. 8 MiB BLIF body
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -59,8 +83,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("lilyd: listening on %s (workers=%d cache=%d timeout=%v)",
-		*addr, *workers, *cache, *timeout)
+	log.Printf("lilyd: listening on %s (workers=%d queue_cap=%d cache=%d timeout=%v max_jobs=%d retain=%v)",
+		*addr, *workers, eng.Stats().QueueCap, *cache, *timeout, *maxJobs, *retain)
 
 	select {
 	case err := <-errc:

@@ -10,6 +10,7 @@ package engine
 
 import (
 	"bytes"
+	"container/list"
 	"context"
 	"errors"
 	"fmt"
@@ -24,6 +25,11 @@ import (
 
 // ErrClosed is returned by Submit after Shutdown has begun.
 var ErrClosed = errors.New("engine: closed")
+
+// ErrQueueFull is returned by Submit in load-shed mode (Config.LoadShed)
+// when the submit queue has no free slot. Callers should back off and
+// retry; the HTTP layer maps it to 429 Too Many Requests.
+var ErrQueueFull = errors.New("engine: queue full")
 
 // RunFunc executes one resolved request. The default implementation runs
 // the lily pipeline; tests inject fakes to exercise scheduling behavior.
@@ -42,22 +48,42 @@ type Config struct {
 	// DefaultTimeout bounds each job's run time unless the request
 	// overrides it; 0 means no timeout.
 	DefaultTimeout time.Duration
+	// MaxRetainedJobs bounds how many terminal jobs the registry keeps
+	// for later status/result fetches; the oldest-finished are evicted
+	// first. 0 means DefaultMaxRetainedJobs, negative means unlimited.
+	MaxRetainedJobs int
+	// RetainFor additionally garbage-collects terminal jobs older than
+	// this from the registry (a background goroutine stopped by
+	// Shutdown); 0 disables age-based GC.
+	RetainFor time.Duration
+	// LoadShed makes Submit non-blocking: when the queue is full it
+	// returns ErrQueueFull immediately instead of waiting for a slot, so
+	// a service front end can shed load (429) rather than hang
+	// connections.
+	LoadShed bool
 	// Run overrides the job executor (tests); nil runs the lily pipeline.
 	Run RunFunc
 }
 
-// Stats is a point-in-time snapshot of engine counters.
+// Stats is a point-in-time snapshot of engine counters. QueueLen is the
+// current submit-queue occupancy; QueueCap its capacity (the former
+// "queue_depth" field conflated the two).
 type Stats struct {
 	Workers      int           `json:"workers"`
-	QueueDepth   int           `json:"queue_depth"`
+	QueueLen     int           `json:"queue_len"`
+	QueueCap     int           `json:"queue_cap"`
 	Running      int           `json:"running"`
+	Jobs         int           `json:"jobs"`
 	Submitted    uint64        `json:"submitted"`
 	Completed    uint64        `json:"completed"`
 	Failed       uint64        `json:"failed"`
 	Canceled     uint64        `json:"canceled"`
+	Shed         uint64        `json:"shed"`
+	Evicted      uint64        `json:"evicted"`
 	CacheHits    uint64        `json:"cache_hits"`
 	CacheMisses  uint64        `json:"cache_misses"`
 	Deduped      uint64        `json:"deduped"`
+	DedupReruns  uint64        `json:"dedup_reruns"`
 	Panics       uint64        `json:"panics"`
 	CacheEntries int           `json:"cache_entries"`
 	QueueWait    time.Duration `json:"queue_wait_total_ns"`
@@ -80,6 +106,7 @@ type Engine struct {
 
 	mu       sync.Mutex
 	byID     map[string]*Job
+	retired  *list.List // terminal jobs in finish order (retainedEntry)
 	inflight map[string]*flight
 	closed   bool
 	running  int
@@ -106,12 +133,16 @@ func New(cfg Config) *Engine {
 	if cacheCap == 0 {
 		cacheCap = 128
 	}
+	if cfg.MaxRetainedJobs == 0 {
+		cfg.MaxRetainedJobs = DefaultMaxRetainedJobs
+	}
 	e := &Engine{
 		cfg:      cfg,
 		run:      cfg.Run,
 		queue:    make(chan *Job, cfg.QueueDepth),
 		cache:    newLRU(cacheCap),
 		byID:     make(map[string]*Job),
+		retired:  list.New(),
 		inflight: make(map[string]*flight),
 		closing:  make(chan struct{}),
 		stop:     make(chan struct{}),
@@ -122,6 +153,10 @@ func New(cfg Config) *Engine {
 	e.workerWG.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go e.worker()
+	}
+	if cfg.RetainFor > 0 {
+		e.workerWG.Add(1)
+		go e.gcLoop(gcInterval(cfg.RetainFor))
 	}
 	return e
 }
@@ -182,8 +217,15 @@ func resolveCircuit(req Request) (*lily.Circuit, []byte, error) {
 
 // Submit validates and enqueues a job. The returned Job is already
 // registered for lookup; ctx governs both the enqueue wait and, as the
-// parent of the job's own context, the run itself.
+// parent of the job's own context, the run itself. In load-shed mode
+// (Config.LoadShed) a full queue fails fast with ErrQueueFull instead of
+// blocking.
 func (e *Engine) Submit(ctx context.Context, req Request) (*Job, error) {
+	if req.Timeout < 0 {
+		// A negative duration would silently disable the timeout in
+		// runGuarded; reject it at the boundary instead.
+		return nil, fmt.Errorf("engine: negative timeout %v", req.Timeout)
+	}
 	circ, blif, err := resolveCircuit(req)
 	if err != nil {
 		return nil, err
@@ -213,24 +255,41 @@ func (e *Engine) Submit(ctx context.Context, req Request) (*Job, error) {
 	e.stats.Submitted++
 	e.mu.Unlock()
 
+	if e.cfg.LoadShed {
+		select {
+		case e.queue <- j:
+			return j, nil
+		default:
+			e.abandon(j, ErrQueueFull)
+			return nil, ErrQueueFull
+		}
+	}
 	select {
 	case e.queue <- j:
 		return j, nil
 	case <-ctx.Done():
-		j.finish(StateCanceled, nil, ctx.Err())
-		e.mu.Lock()
-		e.countTerminalLocked(StateCanceled)
-		e.mu.Unlock()
-		e.jobWG.Done()
+		e.abandon(j, ctx.Err())
 		return nil, ctx.Err()
 	case <-e.closing:
-		j.finish(StateCanceled, nil, ErrClosed)
-		e.mu.Lock()
-		e.countTerminalLocked(StateCanceled)
-		e.mu.Unlock()
-		e.jobWG.Done()
+		e.abandon(j, ErrClosed)
 		return nil, ErrClosed
 	}
+}
+
+// abandon finalizes a job that never reached the queue: Submit is
+// returning an error instead of the handle, so the ID must not linger in
+// the registry. The job is finished as canceled, counted (shed jobs on
+// their own counter), and dropped.
+func (e *Engine) abandon(j *Job, err error) {
+	j.finish(StateCanceled, nil, err)
+	e.mu.Lock()
+	e.countTerminalLocked(StateCanceled)
+	if errors.Is(err, ErrQueueFull) {
+		e.stats.Shed++
+	}
+	delete(e.byID, j.id)
+	e.mu.Unlock()
+	e.jobWG.Done()
 }
 
 // Run is the synchronous convenience wrapper: submit and wait.
@@ -273,9 +332,11 @@ func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	s := e.stats
 	s.Running = e.running
+	s.Jobs = len(e.byID)
 	e.mu.Unlock()
 	s.Workers = e.cfg.Workers
-	s.QueueDepth = len(e.queue)
+	s.QueueLen = len(e.queue)
+	s.QueueCap = cap(e.queue)
 	s.CacheEntries = e.cache.len()
 	return s
 }
@@ -368,43 +429,77 @@ func (e *Engine) execute(j *Job) {
 		e.finishJob(j, StateDone, out, nil)
 		return
 	}
-
 	e.mu.Lock()
 	e.stats.CacheMisses++
-	if f, ok := e.inflight[j.key]; ok {
-		// Identical request already executing: piggyback on its outcome.
-		e.stats.Deduped++
-		e.mu.Unlock()
-		j.markDeduped()
-		select {
-		case <-f.done:
-			if f.err != nil {
-				e.finishJob(j, classify(f.err), nil, f.err)
-			} else {
-				e.finishJob(j, StateDone, f.out, nil)
+	e.mu.Unlock()
+
+	// Singleflight. A follower piggybacks on the in-flight leader for its
+	// key — but a leader that dies of its *own* cancellation or timeout
+	// produced a verdict about that job's deadline, not about this
+	// request. A follower whose context is still live must not inherit
+	// StateCanceled; it loops back and either joins a newer leader or
+	// takes over and executes itself.
+	deduped := false
+	for {
+		if deduped {
+			// A concurrent leader may have completed and populated the
+			// cache between rounds.
+			if out, ok := e.cache.get(j.key); ok {
+				j.markCacheHit()
+				e.mu.Lock()
+				e.stats.CacheHits++
+				e.mu.Unlock()
+				e.finishJob(j, StateDone, out, nil)
+				return
 			}
-		case <-j.ctx.Done():
-			e.finishJob(j, StateCanceled, nil, j.ctx.Err())
 		}
+		e.mu.Lock()
+		f, ok := e.inflight[j.key]
+		if ok {
+			if !deduped {
+				deduped = true
+				e.stats.Deduped++
+			}
+			e.mu.Unlock()
+			j.markDeduped()
+			select {
+			case <-f.done:
+				if f.err == nil {
+					e.finishJob(j, StateDone, f.out, nil)
+					return
+				}
+				if classify(f.err) == StateCanceled && j.ctx.Err() == nil {
+					continue // leader-only cancellation: re-execute
+				}
+				e.finishJob(j, classify(f.err), nil, f.err)
+				return
+			case <-j.ctx.Done():
+				e.finishJob(j, StateCanceled, nil, j.ctx.Err())
+				return
+			}
+		}
+		f = &flight{done: make(chan struct{})}
+		e.inflight[j.key] = f
+		if deduped {
+			e.stats.DedupReruns++
+		}
+		e.mu.Unlock()
+
+		out, err := e.runGuarded(j)
+		f.out, f.err = out, err
+		e.mu.Lock()
+		delete(e.inflight, j.key)
+		e.mu.Unlock()
+		close(f.done)
+
+		if err != nil {
+			e.finishJob(j, classify(err), nil, err)
+			return
+		}
+		e.cache.add(j.key, out)
+		e.finishJob(j, StateDone, out, nil)
 		return
 	}
-	f := &flight{done: make(chan struct{})}
-	e.inflight[j.key] = f
-	e.mu.Unlock()
-
-	out, err := e.runGuarded(j)
-	f.out, f.err = out, err
-	e.mu.Lock()
-	delete(e.inflight, j.key)
-	e.mu.Unlock()
-	close(f.done)
-
-	if err != nil {
-		e.finishJob(j, classify(err), nil, err)
-		return
-	}
-	e.cache.add(j.key, out)
-	e.finishJob(j, StateDone, out, nil)
 }
 
 // classify maps an execution error to a terminal state.
@@ -440,13 +535,17 @@ func (e *Engine) runGuarded(j *Job) (out *Outcome, err error) {
 	return e.run(ctx, j.circuit, j.req)
 }
 
-// finishJob moves a job to its terminal state and updates the counters
-// in one critical section.
+// finishJob moves a job to its terminal state, updates the counters, and
+// enrolls it in the bounded retention queue in one critical section.
 func (e *Engine) finishJob(j *Job, state State, out *Outcome, err error) {
-	runTime := j.finish(state, out, err)
+	runTime, first := j.finish(state, out, err)
+	if !first {
+		return // already terminal; counters were updated by that finish
+	}
 	e.mu.Lock()
 	e.stats.RunTime += runTime
 	e.countTerminalLocked(state)
+	e.retireLocked(j, time.Now())
 	e.mu.Unlock()
 }
 

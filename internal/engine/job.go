@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"container/list"
 	"context"
 	"sync"
 	"time"
@@ -85,6 +86,11 @@ type Job struct {
 
 	ctx    context.Context
 	cancel context.CancelFunc
+
+	// retireEl is the job's slot in the engine's terminal-retention
+	// queue; nil while the job is non-terminal (or after it has been
+	// dropped). Guarded by Engine.mu, not j.mu.
+	retireEl *list.Element
 
 	mu        sync.Mutex
 	state     State
@@ -185,13 +191,14 @@ func (j *Job) start(now time.Time) time.Duration {
 	return now.Sub(j.submitted)
 }
 
-// finish moves the job to a terminal state exactly once and returns the
-// run time (zero if the job never started).
-func (j *Job) finish(state State, out *Outcome, err error) time.Duration {
+// finish moves the job to a terminal state exactly once, returning the
+// run time (zero if the job never started) and whether this call was the
+// transitioning one (false if the job was already terminal).
+func (j *Job) finish(state State, out *Outcome, err error) (time.Duration, bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.state.Terminal() {
-		return 0
+		return 0, false
 	}
 	j.state = state
 	j.outcome = out
@@ -200,9 +207,9 @@ func (j *Job) finish(state State, out *Outcome, err error) time.Duration {
 	close(j.done)
 	j.cancel() // release the context's resources
 	if j.started.IsZero() {
-		return 0
+		return 0, true
 	}
-	return j.finished.Sub(j.started)
+	return j.finished.Sub(j.started), true
 }
 
 func (j *Job) markCacheHit() {

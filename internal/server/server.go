@@ -1,14 +1,21 @@
 // Package server implements lilyd's HTTP JSON API on top of the
 // concurrent flow engine. Endpoints:
 //
-//	POST /v1/jobs            submit a mapping job (benchmark or BLIF + options)
-//	GET  /v1/jobs            list job statuses
-//	GET  /v1/jobs/{id}       poll one job (optional ?wait=5s long-poll)
-//	GET  /v1/jobs/{id}/result  fetch the FlowResult of a finished job
-//	GET  /v1/jobs/{id}/svg     download the rendered layout SVG
-//	GET  /v1/benchmarks      list the built-in benchmark suite
-//	GET  /v1/stats           engine counters
-//	GET  /healthz            liveness probe
+//	POST   /v1/jobs            submit a mapping job (benchmark or BLIF + options)
+//	GET    /v1/jobs            list job statuses
+//	GET    /v1/jobs/{id}       poll one job (optional ?wait=5s long-poll, capped at 60s)
+//	GET    /v1/jobs/{id}/result  fetch the FlowResult of a finished job
+//	GET    /v1/jobs/{id}/svg     download the rendered layout SVG
+//	DELETE /v1/jobs/{id}       drop a terminal job from the registry
+//	GET    /v1/benchmarks      list the built-in benchmark suite
+//	GET    /v1/stats           engine counters
+//	GET    /healthz            liveness probe
+//
+// Lifecycle semantics: the engine retains only a bounded number of
+// terminal jobs, so an ID that was once issued but has since been
+// evicted (or DELETEd) answers 410 Gone rather than 404. When the
+// engine runs in load-shed mode a full queue answers 429 Too Many
+// Requests with a Retry-After hint instead of blocking the connection.
 package server
 
 import (
@@ -26,6 +33,10 @@ import (
 // maxBodyBytes bounds uploaded BLIF sources (8 MiB).
 const maxBodyBytes = 8 << 20
 
+// maxLongPoll caps the ?wait= long-poll duration so a single client
+// cannot pin a connection indefinitely; longer requests are clamped.
+const maxLongPoll = 60 * time.Second
+
 // Server routes lilyd's API onto an engine.
 type Server struct {
 	eng *engine.Engine
@@ -38,6 +49,7 @@ func New(eng *engine.Engine) *Server {
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleDelete)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/svg", s.handleSVG)
 	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
@@ -155,6 +167,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if req.TimeoutMS < 0 {
+		// A negative duration would silently disable the engine's
+		// per-job timeout instead of bounding it.
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("timeout_ms must be >= 0 (got %d)", req.TimeoutMS))
+		return
+	}
 	ereq := engine.Request{
 		Benchmark: req.Benchmark,
 		Options:   opt,
@@ -168,8 +187,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	j, err := s.eng.Submit(context.Background(), ereq)
 	if err != nil {
 		status := http.StatusBadRequest
-		if errors.Is(err, engine.ErrClosed) {
+		switch {
+		case errors.Is(err, engine.ErrClosed):
 			status = http.StatusServiceUnavailable
+		case errors.Is(err, engine.ErrQueueFull):
+			// Load shed: tell the client to back off and retry rather
+			// than holding its connection open against a full queue.
+			w.Header().Set("Retry-After", "1")
+			status = http.StatusTooManyRequests
 		}
 		writeError(w, status, err)
 		return
@@ -190,25 +215,68 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.eng.Jobs())
 }
 
+// lookupJob resolves {id}, distinguishing IDs that were never issued
+// (404) from IDs the engine once issued but no longer retains — evicted,
+// aged out, or DELETEd — which answer 410 Gone.
+func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request) (*engine.Job, bool) {
+	id := r.PathValue("id")
+	if j, ok := s.eng.Job(id); ok {
+		return j, true
+	}
+	if s.eng.Forgotten(id) {
+		writeError(w, http.StatusGone,
+			fmt.Errorf("job %s is no longer retained (evicted or deleted)", id))
+	} else {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+	}
+	return nil, false
+}
+
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.eng.Job(r.PathValue("id"))
+	j, ok := s.lookupJob(w, r)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
 		return
 	}
 	// Optional long-poll: ?wait=5s blocks until the job terminates or the
-	// wait elapses, then reports whatever state the job is in.
+	// wait elapses, then reports whatever state the job is in. The wait
+	// is clamped to maxLongPoll so one client cannot pin a connection for
+	// hours; unparseable or negative values are rejected.
 	if waitStr := r.URL.Query().Get("wait"); waitStr != "" {
 		d, err := time.ParseDuration(waitStr)
 		if err != nil || d < 0 {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("bad wait duration %q", waitStr))
 			return
 		}
+		if d > maxLongPoll {
+			d = maxLongPoll
+		}
 		ctx, cancel := context.WithTimeout(r.Context(), d)
 		_, _ = j.Wait(ctx)
 		cancel()
 	}
 	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	if err := s.eng.Remove(j.ID()); err != nil {
+		switch {
+		case errors.Is(err, engine.ErrJobActive):
+			writeError(w, http.StatusConflict, fmt.Errorf(
+				"job %s is still %s; cancel it or wait for it to terminate", j.ID(), j.Status().State))
+		case errors.Is(err, engine.ErrUnknownJob):
+			// Raced with eviction between lookup and removal: same outcome.
+			writeError(w, http.StatusGone,
+				fmt.Errorf("job %s is no longer retained (evicted or deleted)", j.ID()))
+		default:
+			writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
@@ -237,9 +305,8 @@ func (s *Server) handleSVG(w http.ResponseWriter, r *http.Request) {
 // finishedJob resolves {id} to a successfully finished job, writing the
 // appropriate error response otherwise.
 func (s *Server) finishedJob(w http.ResponseWriter, r *http.Request) (*engine.Job, *engine.Outcome, bool) {
-	j, ok := s.eng.Job(r.PathValue("id"))
+	j, ok := s.lookupJob(w, r)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
 		return nil, nil, false
 	}
 	st := j.Status()
