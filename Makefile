@@ -5,7 +5,7 @@
 GO ?= go
 BIN ?= bin
 
-.PHONY: all build test lint race soak fmt clean
+.PHONY: all build test lint race soak smoke bench fmt clean
 
 all: build test lint
 
@@ -25,6 +25,17 @@ race:
 soak:
 	$(GO) test -race -count=5 -run 'Soak|Retain|Evict|LoadShed|QueueFull|Follower' \
 		./internal/engine/ ./internal/server/
+
+# Observability smoke test: boots lilyd, runs a job, validates the
+# /metrics exposition and the job's phase trace (DESIGN.md §10).
+smoke:
+	./scripts/obs-smoke.sh
+
+# Single-iteration pass over the engine + obs benchmarks so they keep
+# compiling and running (BenchmarkDisabledTracer reports allocs/op).
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkEngineSuite -benchtime=1x ./internal/engine/
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./internal/obs/
 
 $(BIN)/lilylint: FORCE
 	@mkdir -p $(BIN)

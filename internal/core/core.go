@@ -19,6 +19,7 @@ import (
 	"lily/internal/logic"
 	"lily/internal/match"
 	"lily/internal/netlist"
+	"lily/internal/obs"
 	"lily/internal/place"
 	"lily/internal/timing"
 	"lily/internal/wire"
@@ -165,9 +166,13 @@ func mapPlaced(ctx context.Context, sub *logic.Network, lib *library.Library, pl
 	if opt.WireWeight < 0 {
 		return nil, fmt.Errorf("core: negative wire weight")
 	}
+	// The cover phase: the paper's wire-aware DP over cones. The span is
+	// a no-op without a tracer in ctx (see internal/obs).
+	ctx, span := obs.StartSpan(ctx, "cover")
+	defer span.End()
 	n := len(sub.Nodes)
 	lm := &lily{
-		ctx: ctx,
+		ctx: ctx, fm: obs.FlowMetricsFrom(ctx),
 		sub: sub, lib: lib, opt: opt, pl: pl,
 		mt:            match.NewMatcher(sub, lib),
 		state:         make([]State, n),
@@ -188,7 +193,19 @@ func mapPlaced(ctx context.Context, sub *logic.Network, lib *library.Library, pl
 	if opt.TraceLifecycle {
 		lm.trace = make([]Transition, 0, 4*n)
 	}
-	return lm.run()
+	res, err := lm.run()
+	if err != nil {
+		span.SetError(err)
+		return nil, err
+	}
+	if span.Enabled() {
+		span.SetInt("cones", int64(res.Stats.ConesProcessed))
+		span.SetInt("hawks", int64(res.Stats.Hawks))
+		span.SetInt("doves", int64(res.Stats.Doves))
+		span.SetInt("reincarnations", int64(res.Stats.Reincarnations))
+		span.SetInt("replacements", int64(res.Stats.Replacements))
+	}
+	return res, nil
 }
 
 // baseWidth returns the inchoate cell-width function (NAND2 and INV base
@@ -211,6 +228,7 @@ type hawkRef struct {
 
 type lily struct {
 	ctx context.Context
+	fm  *obs.FlowMetrics
 	sub *logic.Network
 	lib *library.Library
 	opt Options
@@ -262,12 +280,14 @@ func (lm *lily) run() (*Result, error) {
 			return nil, err
 		}
 		lm.stats.ConesProcessed++
+		lm.fm.ConesMapped.Inc()
 		if lm.opt.ReplaceEvery > 0 && i+1 < len(order) &&
 			lm.stats.ConesProcessed%lm.opt.ReplaceEvery == 0 {
 			if err := lm.replaceGlobal(); err != nil {
 				return nil, err
 			}
 			lm.stats.Replacements++
+			lm.fm.Replacements.Inc()
 		}
 	}
 
@@ -373,6 +393,8 @@ func (lm *lily) evaluateNode(v logic.NodeID) error {
 	if len(matches) == 0 {
 		return fmt.Errorf("core: node %q has no matches", lm.sub.Nodes[v].Name)
 	}
+	// One wire-cost evaluation per candidate match considered by the DP.
+	lm.fm.WireEvals.Add(uint64(len(matches)))
 	switch lm.opt.Mode {
 	case ModeArea:
 		return lm.evaluateArea(v, matches)

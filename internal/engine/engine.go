@@ -15,12 +15,14 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"lily"
+	"lily/internal/obs"
 )
 
 // ErrClosed is returned by Submit after Shutdown has begun.
@@ -61,6 +63,19 @@ type Config struct {
 	// a service front end can shed load (429) rather than hang
 	// connections.
 	LoadShed bool
+	// Metrics is the registry the engine registers its instruments on;
+	// nil means the engine creates a private one (reachable via
+	// Registry). Sharing a registry across engines is allowed —
+	// registration is idempotent.
+	Metrics *obs.Registry
+	// Trace records a phase-span tree per job (served by lilyd at
+	// /v1/jobs/{id}/trace, retained and evicted with the job). Off by
+	// default: library users keep the zero-allocation no-op path.
+	Trace bool
+	// OnTerminal, when set, is invoked once per job as it reaches a
+	// terminal state via a worker (the lilyd job-log middleware). It
+	// runs on the worker goroutine; keep it fast.
+	OnTerminal func(Status)
 	// Run overrides the job executor (tests); nil runs the lily pipeline.
 	Run RunFunc
 }
@@ -103,6 +118,10 @@ type Engine struct {
 	run   RunFunc
 	queue chan *Job
 	cache *lruCache
+
+	reg     *obs.Registry
+	metrics *engineMetrics
+	flow    *obs.FlowMetrics
 
 	mu       sync.Mutex
 	byID     map[string]*Job
@@ -150,6 +169,12 @@ func New(cfg Config) *Engine {
 	if e.run == nil {
 		e.run = runPipeline
 	}
+	e.reg = cfg.Metrics
+	if e.reg == nil {
+		e.reg = obs.NewRegistry()
+	}
+	e.metrics = e.registerMetrics(e.reg)
+	e.flow = obs.RegisterFlowMetrics(e.reg)
 	e.workerWG.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go e.worker()
@@ -244,6 +269,12 @@ func (e *Engine) Submit(ctx context.Context, req Request) (*Job, error) {
 		submitted: time.Now(),
 		done:      make(chan struct{}),
 	}
+	if e.cfg.Trace {
+		j.tracer = obs.NewTracer()
+		// Span ends feed the per-phase duration histogram; the filter in
+		// ObservePhase keeps the label set fixed.
+		j.tracer.OnSpanEnd = e.flow.ObservePhase
+	}
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
@@ -253,6 +284,7 @@ func (e *Engine) Submit(ctx context.Context, req Request) (*Job, error) {
 	e.jobWG.Add(1)
 	e.byID[j.id] = j
 	e.stats.Submitted++
+	e.metrics.submitted.Inc()
 	e.mu.Unlock()
 
 	if e.cfg.LoadShed {
@@ -286,11 +318,16 @@ func (e *Engine) abandon(j *Job, err error) {
 	e.countTerminalLocked(StateCanceled)
 	if errors.Is(err, ErrQueueFull) {
 		e.stats.Shed++
+		e.metrics.shed.Inc()
 	}
 	delete(e.byID, j.id)
 	e.mu.Unlock()
 	e.jobWG.Done()
 }
+
+// Registry returns the metrics registry the engine (and the flows it
+// runs) report into; lilyd serves it at /metrics.
+func (e *Engine) Registry() *obs.Registry { return e.reg }
 
 // Run is the synchronous convenience wrapper: submit and wait.
 func (e *Engine) Run(ctx context.Context, req Request) (*Outcome, error) {
@@ -406,6 +443,7 @@ func (e *Engine) worker() {
 func (e *Engine) execute(j *Job) {
 	defer e.jobWG.Done()
 	queueWait := j.start(time.Now())
+	e.metrics.queueWait.Observe(queueWait.Seconds())
 	e.mu.Lock()
 	e.running++
 	e.stats.QueueWait += queueWait
@@ -423,15 +461,18 @@ func (e *Engine) execute(j *Job) {
 
 	if out, ok := e.cache.get(j.key); ok {
 		j.markCacheHit()
+		e.markTrivialTrace(j, "cache_hit")
 		e.mu.Lock()
 		e.stats.CacheHits++
 		e.mu.Unlock()
+		e.metrics.cacheHits.Inc()
 		e.finishJob(j, StateDone, out, nil)
 		return
 	}
 	e.mu.Lock()
 	e.stats.CacheMisses++
 	e.mu.Unlock()
+	e.metrics.cacheMisses.Inc()
 
 	// Singleflight. A follower piggybacks on the in-flight leader for its
 	// key — but a leader that dies of its *own* cancellation or timeout
@@ -459,12 +500,14 @@ func (e *Engine) execute(j *Job) {
 			if !deduped {
 				deduped = true
 				e.stats.Deduped++
+				e.metrics.deduped.Inc()
 			}
 			e.mu.Unlock()
 			j.markDeduped()
 			select {
 			case <-f.done:
 				if f.err == nil {
+					e.markTrivialTrace(j, "deduped")
 					e.finishJob(j, StateDone, f.out, nil)
 					return
 				}
@@ -482,6 +525,7 @@ func (e *Engine) execute(j *Job) {
 		e.inflight[j.key] = f
 		if deduped {
 			e.stats.DedupReruns++
+			e.metrics.dedupReruns.Inc()
 		}
 		e.mu.Unlock()
 
@@ -510,11 +554,26 @@ func classify(err error) State {
 	return StateFailed
 }
 
+// markTrivialTrace records a one-span trace for a job that never ran the
+// pipeline (cache hit or dedup follower), so its /trace endpoint still
+// explains where the result came from.
+func (e *Engine) markTrivialTrace(j *Job, how string) {
+	if j.tracer == nil {
+		return
+	}
+	_, root := j.tracer.StartRoot(context.Background(), "job")
+	root.SetStr("id", j.id)
+	root.SetStr("source", how)
+	root.End()
+}
+
 // runGuarded executes the job body under its timeout with panic recovery:
 // a panicking flow fails its own job and increments the panic counter, but
-// the worker and the process survive.
+// the worker and the process survive. The context handed to the pipeline
+// carries the engine's flow metrics and, when tracing is on, the job's
+// tracer with a root "job" span.
 func (e *Engine) runGuarded(j *Job) (out *Outcome, err error) {
-	ctx := j.ctx
+	ctx := obs.ContextWithFlowMetrics(j.ctx, e.flow)
 	timeout := j.req.Timeout
 	if timeout == 0 {
 		timeout = e.cfg.DefaultTimeout
@@ -524,15 +583,32 @@ func (e *Engine) runGuarded(j *Job) (out *Outcome, err error) {
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
+	var root *obs.Span
+	if j.tracer != nil {
+		ctx, root = j.tracer.StartRoot(ctx, "job")
+		root.SetStr("id", j.id)
+		if j.circuit != nil {
+			root.SetStr("circuit", j.circuit.Name())
+		}
+		defer root.End()
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			e.mu.Lock()
 			e.stats.Panics++
 			e.mu.Unlock()
-			out, err = nil, fmt.Errorf("engine: job %s panicked: %v", j.id, r)
+			e.metrics.panics.Inc()
+			// Capture the stack at the fault: the recover site says
+			// nothing about where the pipeline crashed.
+			stack := debug.Stack()
+			out, err = nil, fmt.Errorf("engine: job %s panicked: %v\n%s", j.id, r, stack)
+			root.SetStr("stack", string(stack))
+			root.SetError(err)
 		}
 	}()
-	return e.run(ctx, j.circuit, j.req)
+	out, err = e.run(ctx, j.circuit, j.req)
+	root.SetError(err)
+	return out, err
 }
 
 // finishJob moves a job to its terminal state, updates the counters, and
@@ -542,15 +618,20 @@ func (e *Engine) finishJob(j *Job, state State, out *Outcome, err error) {
 	if !first {
 		return // already terminal; counters were updated by that finish
 	}
+	e.metrics.jobDuration.Observe(runTime.Seconds())
 	e.mu.Lock()
 	e.stats.RunTime += runTime
 	e.countTerminalLocked(state)
 	e.retireLocked(j, time.Now())
 	e.mu.Unlock()
+	if e.cfg.OnTerminal != nil {
+		e.cfg.OnTerminal(j.Status())
+	}
 }
 
 // countTerminalLocked bumps the terminal-state counter; requires e.mu.
 func (e *Engine) countTerminalLocked(state State) {
+	e.metrics.jobsTotal.With(state.String()).Inc()
 	switch state {
 	case StateDone:
 		e.stats.Completed++

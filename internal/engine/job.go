@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"lily"
+	"lily/internal/obs"
 )
 
 // State is the lifecycle state of a job.
@@ -87,6 +88,12 @@ type Job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	// tracer records the job's phase-span tree when the engine runs with
+	// tracing enabled; nil otherwise. It lives and dies with the job:
+	// retained while the job is in the registry, dropped with it on
+	// eviction, age GC, or DELETE.
+	tracer *obs.Tracer
+
 	// retireEl is the job's slot in the engine's terminal-retention
 	// queue; nil while the job is non-terminal (or after it has been
 	// dropped). Guarded by Engine.mu, not j.mu.
@@ -136,6 +143,14 @@ func (j *Job) Outcome() *Outcome {
 	defer j.mu.Unlock()
 	return j.outcome
 }
+
+// Traced reports whether the engine recorded a trace for this job.
+func (j *Job) Traced() bool { return j.tracer != nil }
+
+// Trace snapshots the job's span tree. Safe while the job is still
+// running (live spans appear with duration -1); nil when the engine ran
+// without tracing.
+func (j *Job) Trace() []*obs.SpanNode { return j.tracer.Tree() }
 
 // Status is a point-in-time snapshot of a job's lifecycle and metrics.
 type Status struct {

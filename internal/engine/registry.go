@@ -55,6 +55,7 @@ func (e *Engine) evictExcessLocked() {
 	for e.retired.Len() > max {
 		e.dropRetainedLocked(e.retired.Front().Value.(retainedEntry).j)
 		e.stats.Evicted++
+		e.metrics.evicted.Inc()
 	}
 }
 
@@ -81,6 +82,7 @@ func (e *Engine) gcRetained(cutoff time.Time) int {
 		}
 		e.dropRetainedLocked(ent.j)
 		e.stats.Evicted++
+		e.metrics.evicted.Inc()
 		n++
 	}
 	return n

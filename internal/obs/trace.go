@@ -1,0 +1,275 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Tracer records a tree of phase-scoped spans for one pipeline run. It
+// is carried through the pipeline via context (WithTracer / StartSpan);
+// snapshots (Tree) are safe concurrently with span starts and ends, so
+// a live job's partial trace can be served while it is still mapping.
+//
+// The no-op path is allocation-free: a context without a tracer makes
+// StartSpan return (ctx, nil), and all *Span methods accept a nil
+// receiver. Hot loops may therefore be instrumented unconditionally.
+type Tracer struct {
+	// OnSpanEnd, when set before tracing starts, is invoked after each
+	// span ends (engine wires this to the per-phase duration
+	// histogram). It must be safe for concurrent calls.
+	OnSpanEnd func(name string, d time.Duration)
+
+	mu    sync.Mutex
+	spans []*Span
+	clock func() time.Time
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer {
+	return &Tracer{clock: time.Now}
+}
+
+// Attr is one typed span attribute. Exactly one of the value fields is
+// meaningful, per Kind; typed setters avoid interface boxing on the
+// call sites so disabled tracing stays allocation-free.
+type Attr struct {
+	Key   string
+	Kind  AttrKind
+	Int   int64
+	Float float64
+	Str   string
+}
+
+// AttrKind discriminates Attr values.
+type AttrKind int
+
+const (
+	// AttrInt marks an integer attribute.
+	AttrInt AttrKind = iota
+	// AttrFloat marks a float attribute.
+	AttrFloat
+	// AttrStr marks a string attribute.
+	AttrStr
+)
+
+// value returns the attribute's dynamic value for JSON rendering.
+func (a Attr) value() any {
+	switch a.Kind {
+	case AttrInt:
+		return a.Int
+	case AttrFloat:
+		return a.Float
+	default:
+		return a.Str
+	}
+}
+
+// Span is one timed phase of a traced run. A nil *Span is the disabled
+// tracer's span: every method no-ops.
+type Span struct {
+	tr     *Tracer
+	id     int
+	parent int // -1 for roots
+
+	name  string
+	start time.Time
+	end   time.Time // zero while running
+	err   string
+	attrs []Attr
+}
+
+type ctxKey struct{}
+
+// ctxVal carries the tracer and the current span id for parenting.
+type ctxVal struct {
+	t    *Tracer
+	span int
+}
+
+// WithTracer installs t as the context's tracer; subsequent StartSpan
+// calls record into it. A nil t returns ctx unchanged (tracing stays
+// disabled).
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, ctxVal{t: t, span: -1})
+}
+
+// TracerFrom returns the context's tracer, or nil when tracing is
+// disabled.
+func TracerFrom(ctx context.Context) *Tracer {
+	v, ok := ctx.Value(ctxKey{}).(ctxVal)
+	if !ok {
+		return nil
+	}
+	return v.t
+}
+
+// StartSpan begins a named span under the context's current span. When
+// the context has no tracer it returns (ctx, nil) without allocating,
+// so instrumented code needs no enabled/disabled branches: the returned
+// nil *Span accepts every method.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	v, ok := ctx.Value(ctxKey{}).(ctxVal)
+	if !ok {
+		return ctx, nil
+	}
+	s := v.t.startSpan(name, v.span)
+	return context.WithValue(ctx, ctxKey{}, ctxVal{t: v.t, span: s.id}), s
+}
+
+// startSpan records a new span with the given parent (-1 for a root).
+func (t *Tracer) startSpan(name string, parent int) *Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := &Span{tr: t, id: len(t.spans), parent: parent, name: name, start: t.clock()}
+	t.spans = append(t.spans, s)
+	return s
+}
+
+// StartRoot begins a root span directly on the tracer (the engine's
+// per-job root). Returns a context carrying the tracer with the new
+// span current, plus the span.
+func (t *Tracer) StartRoot(ctx context.Context, name string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	s := t.startSpan(name, -1)
+	return context.WithValue(ctx, ctxKey{}, ctxVal{t: t, span: s.id}), s
+}
+
+// Enabled reports whether the span records anything: attribute values
+// that are expensive to compute (HPWL sums, histograms) should be
+// guarded with it so the disabled path pays nothing.
+func (s *Span) Enabled() bool { return s != nil }
+
+// End closes the span. Safe on a nil receiver; double End keeps the
+// first end time.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	var d time.Duration
+	ended := false
+	if s.end.IsZero() {
+		s.end = s.tr.clock()
+		d = s.end.Sub(s.start)
+		ended = true
+	}
+	hook := s.tr.OnSpanEnd
+	name := s.name
+	s.tr.mu.Unlock()
+	if ended && hook != nil {
+		hook(name, d)
+	}
+}
+
+// SetInt attaches an integer attribute. Safe on a nil receiver.
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Kind: AttrInt, Int: v})
+	s.tr.mu.Unlock()
+}
+
+// SetFloat attaches a float attribute. Safe on a nil receiver.
+func (s *Span) SetFloat(key string, v float64) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Kind: AttrFloat, Float: v})
+	s.tr.mu.Unlock()
+}
+
+// SetStr attaches a string attribute. Safe on a nil receiver.
+func (s *Span) SetStr(key, v string) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Kind: AttrStr, Str: v})
+	s.tr.mu.Unlock()
+}
+
+// SetError marks the span failed with the error's message. Safe on a
+// nil receiver and with a nil error (both no-op).
+func (s *Span) SetError(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.err = err.Error()
+	s.tr.mu.Unlock()
+}
+
+// SpanNode is the JSON form of one span in the trace tree.
+type SpanNode struct {
+	Name string `json:"name"`
+	// Start is nanoseconds since the trace's first span started.
+	StartNS int64 `json:"start_ns"`
+	// DurationNS is -1 while the span is still running.
+	DurationNS int64          `json:"duration_ns"`
+	Error      string         `json:"error,omitempty"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Children   []*SpanNode    `json:"children,omitempty"`
+}
+
+// Tree snapshots the recorded spans as a forest of root spans, children
+// ordered by start time. Safe concurrently with recording; running
+// spans appear with DurationNS = -1.
+func (t *Tracer) Tree() []*SpanNode {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.spans) == 0 {
+		return nil
+	}
+	epoch := t.spans[0].start
+	nodes := make([]*SpanNode, len(t.spans))
+	for i, s := range t.spans {
+		n := &SpanNode{
+			Name:       s.name,
+			StartNS:    s.start.Sub(epoch).Nanoseconds(),
+			DurationNS: -1,
+			Error:      s.err,
+		}
+		if !s.end.IsZero() {
+			n.DurationNS = s.end.Sub(s.start).Nanoseconds()
+		}
+		if len(s.attrs) > 0 {
+			n.Attrs = make(map[string]any, len(s.attrs))
+			for _, a := range s.attrs {
+				n.Attrs[a.Key] = a.value()
+			}
+		}
+		nodes[i] = n
+	}
+	var roots []*SpanNode
+	for i, s := range t.spans {
+		if s.parent >= 0 {
+			p := nodes[s.parent]
+			p.Children = append(p.Children, nodes[i])
+		} else {
+			roots = append(roots, nodes[i])
+		}
+	}
+	return roots
+}
+
+// SpanCount returns the number of spans recorded so far (0 on nil).
+func (t *Tracer) SpanCount() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}

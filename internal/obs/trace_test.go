@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestTracerTree(t *testing.T) {
+	tr := NewTracer()
+	ctx := context.Background()
+
+	ctx, root := tr.StartRoot(ctx, "job")
+	root.SetStr("id", "job-000001")
+
+	cctx, premap := StartSpan(ctx, "premap")
+	premap.SetInt("subject_nodes", 42)
+	_, inner := StartSpan(cctx, "placement")
+	inner.SetFloat("hpwl_um", 12.5)
+	inner.End()
+	premap.End()
+
+	_, cover := StartSpan(ctx, "cover")
+	cover.SetError(context.Canceled)
+	cover.End()
+	root.End()
+
+	roots := tr.Tree()
+	if len(roots) != 1 {
+		t.Fatalf("got %d roots, want 1", len(roots))
+	}
+	jb := roots[0]
+	if jb.Name != "job" || jb.Attrs["id"] != "job-000001" {
+		t.Fatalf("bad root: %+v", jb)
+	}
+	if jb.DurationNS < 0 {
+		t.Fatal("ended root reported as running")
+	}
+	if len(jb.Children) != 2 {
+		t.Fatalf("root has %d children, want 2", len(jb.Children))
+	}
+	pm, cv := jb.Children[0], jb.Children[1]
+	if pm.Name != "premap" || pm.Attrs["subject_nodes"] != int64(42) {
+		t.Fatalf("bad premap node: %+v", pm)
+	}
+	if len(pm.Children) != 1 || pm.Children[0].Name != "placement" {
+		t.Fatalf("placement not nested under premap: %+v", pm.Children)
+	}
+	if pm.Children[0].Attrs["hpwl_um"] != 12.5 {
+		t.Fatalf("bad placement attrs: %+v", pm.Children[0].Attrs)
+	}
+	if cv.Name != "cover" || cv.Error != context.Canceled.Error() {
+		t.Fatalf("bad cover node: %+v", cv)
+	}
+	if tr.SpanCount() != 4 {
+		t.Fatalf("SpanCount = %d, want 4", tr.SpanCount())
+	}
+}
+
+func TestTreeWhileRunning(t *testing.T) {
+	tr := NewTracer()
+	ctx, _ := tr.StartRoot(context.Background(), "job")
+	_, child := StartSpan(ctx, "premap")
+
+	roots := tr.Tree()
+	if len(roots) != 1 || roots[0].DurationNS != -1 {
+		t.Fatalf("running root should have DurationNS -1: %+v", roots)
+	}
+	if len(roots[0].Children) != 1 || roots[0].Children[0].DurationNS != -1 {
+		t.Fatalf("running child should have DurationNS -1: %+v", roots[0].Children)
+	}
+	child.End()
+	roots = tr.Tree()
+	if roots[0].Children[0].DurationNS < 0 {
+		t.Fatal("ended child still reported as running")
+	}
+}
+
+func TestOnSpanEndHook(t *testing.T) {
+	tr := NewTracer()
+	var names []string
+	var durs []time.Duration
+	tr.OnSpanEnd = func(name string, d time.Duration) {
+		names = append(names, name)
+		durs = append(durs, d)
+	}
+	ctx, root := tr.StartRoot(context.Background(), "job")
+	_, s := StartSpan(ctx, "cover")
+	s.End()
+	s.End() // double End must not re-fire the hook
+	root.End()
+	if len(names) != 2 || names[0] != "cover" || names[1] != "job" {
+		t.Fatalf("hook fired for %v, want [cover job]", names)
+	}
+	for i, d := range durs {
+		if d < 0 {
+			t.Fatalf("hook %d got negative duration %v", i, d)
+		}
+	}
+}
+
+func TestDisabledPathIsInert(t *testing.T) {
+	ctx := context.Background()
+	if TracerFrom(ctx) != nil {
+		t.Fatal("bare context has a tracer")
+	}
+	sctx, s := StartSpan(ctx, "premap")
+	if sctx != ctx {
+		t.Fatal("disabled StartSpan rewrapped the context")
+	}
+	if s.Enabled() {
+		t.Fatal("nil span claims to be enabled")
+	}
+	// All methods must be nil-receiver-safe.
+	s.SetInt("k", 1)
+	s.SetFloat("k", 1)
+	s.SetStr("k", "v")
+	s.SetError(context.Canceled)
+	s.End()
+	var tr *Tracer
+	if tr.Tree() != nil || tr.SpanCount() != 0 {
+		t.Fatal("nil tracer not inert")
+	}
+	if WithTracer(ctx, nil) != ctx {
+		t.Fatal("WithTracer(nil) rewrapped the context")
+	}
+}
+
+// TestDisabledTracingAllocates asserts the disabled hot path performs
+// zero allocations: StartSpan, attribute setters, End, and flow-metric
+// lookup on a context without a tracer.
+func TestDisabledTracingAllocates(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		c2, s := StartSpan(ctx, "cover")
+		s.SetInt("cones", 7)
+		s.SetFloat("hpwl_um", 1.5)
+		s.End()
+		fm := FlowMetricsFrom(c2)
+		fm.ConesMapped.Inc()
+		_ = c2
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing path allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkDisabledTracer is the satellite-required benchmark: the
+// instrumented call pattern on an untraced context, asserted 0 allocs/op
+// via ReportAllocs (CI runs it with -benchtime=1x).
+func BenchmarkDisabledTracer(b *testing.B) {
+	ctx := context.Background()
+	fm := FlowMetricsFrom(ctx)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c2, s := StartSpan(ctx, "cover")
+		s.SetInt("cones", int64(i))
+		s.End()
+		fm.WireEvals.Add(3)
+		_ = c2
+	}
+}
+
+func BenchmarkEnabledSpan(b *testing.B) {
+	tr := NewTracer()
+	ctx, _ := tr.StartRoot(context.Background(), "job")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, s := StartSpan(ctx, "cover")
+		s.SetInt("cones", int64(i))
+		s.End()
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"lily/internal/geom"
 	"lily/internal/logic"
+	"lily/internal/obs"
 )
 
 // Config tunes the global placer.
@@ -87,6 +88,10 @@ func GlobalContext(ctx context.Context, net *logic.Network, cellWidth func(logic
 	if cfg.Utilization <= 0 || cfg.Utilization > 1 {
 		return nil, fmt.Errorf("place: bad utilization %v", cfg.Utilization)
 	}
+	// Phase-scoped trace span; a context without a tracer makes this (and
+	// every span method below) an allocation-free no-op.
+	ctx, span := obs.StartSpan(ctx, "placement")
+	defer span.End()
 	// Movable cells.
 	var movable []logic.NodeID
 	idx := make(map[logic.NodeID]int)
@@ -134,8 +139,21 @@ func GlobalContext(ctx context.Context, net *logic.Network, cellWidth func(logic
 		ctx: ctx, net: net, cfg: cfg, die: die,
 		movable: movable, idx: idx, pads: pads, nets: nets,
 		width: cellWidth, rowHeight: rowHeight,
+		fm: obs.FlowMetricsFrom(ctx),
 	}
-	return p.run()
+	res, err := p.run()
+	if err != nil {
+		span.SetError(err)
+		return nil, err
+	}
+	p.fm.CGIterations.Add(uint64(p.cgIters))
+	if span.Enabled() {
+		span.SetInt("cells", int64(len(movable)))
+		span.SetInt("cg_iterations", int64(p.cgIters))
+		span.SetInt("partition_levels", int64(p.levels))
+		span.SetFloat("hpwl_um", res.TotalHPWL(net))
+	}
+	return res, nil
 }
 
 // netPin is one terminal of a net: either a movable cell or a fixed pad.
@@ -237,6 +255,12 @@ type placer struct {
 	width     func(logic.NodeID) float64
 	rowHeight float64
 
+	// fm receives solver-effort counters; levels and cgIters accumulate
+	// partition depth and conjugate-gradient iterations for the span.
+	fm      *obs.FlowMetrics
+	levels  int
+	cgIters int
+
 	x, y []float64
 }
 
@@ -335,10 +359,13 @@ func (p *placer) solveQP(anchor []geom.Point, anchorW float64) error {
 			q.addFixed(i, anchorW, anchor[i].X, anchor[i].Y)
 		}
 	}
-	if _, err := q.solve(p.ctx, q.rhsX, p.x, p.cfg.CGTol, p.cfg.CGMaxIter); err != nil {
+	itX, err := q.solve(p.ctx, q.rhsX, p.x, p.cfg.CGTol, p.cfg.CGMaxIter)
+	p.cgIters += itX
+	if err != nil {
 		return err
 	}
-	_, err := q.solve(p.ctx, q.rhsY, p.y, p.cfg.CGTol, p.cfg.CGMaxIter)
+	itY, err := q.solve(p.ctx, q.rhsY, p.y, p.cfg.CGTol, p.cfg.CGMaxIter)
+	p.cgIters += itY
 	return err
 }
 
@@ -450,6 +477,7 @@ func (p *placer) partition() ([]geom.Rect, error) {
 		if !split {
 			break
 		}
+		p.levels = level
 		// Re-solve with anchors pulling each cell toward its region center;
 		// anchor strength grows with level so late levels dominate.
 		anchor := make([]geom.Point, len(p.movable))

@@ -6,9 +6,11 @@
 //	GET    /v1/jobs/{id}       poll one job (optional ?wait=5s long-poll, capped at 60s)
 //	GET    /v1/jobs/{id}/result  fetch the FlowResult of a finished job
 //	GET    /v1/jobs/{id}/svg     download the rendered layout SVG
+//	GET    /v1/jobs/{id}/trace   phase-span tree recorded for the job
 //	DELETE /v1/jobs/{id}       drop a terminal job from the registry
 //	GET    /v1/benchmarks      list the built-in benchmark suite
 //	GET    /v1/stats           engine counters
+//	GET    /metrics            Prometheus text exposition (engine + flow + HTTP)
 //	GET    /healthz            liveness probe
 //
 // Lifecycle semantics: the engine retains only a bounded number of
@@ -23,11 +25,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"lily"
 	"lily/internal/engine"
+	"lily/internal/obs"
 )
 
 // maxBodyBytes bounds uploaded BLIF sources (8 MiB).
@@ -37,25 +43,115 @@ const maxBodyBytes = 8 << 20
 // cannot pin a connection indefinitely; longer requests are clamped.
 const maxLongPoll = 60 * time.Second
 
+// PrometheusContentType is the Content-Type of GET /metrics responses
+// (Prometheus text exposition format v0.0.4).
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// HTTP-layer metric names.
+const (
+	metricHTTPRequests  = "lily_http_requests_total"
+	metricHTTPResponses = "lily_http_responses_total"
+	metricHTTPDuration  = "lily_http_request_seconds"
+	metricHTTPInFlight  = "lily_http_in_flight"
+)
+
+// serverMetrics bundles the HTTP handler's instruments. Route labels use
+// the registered mux patterns (not raw URLs), so the cardinality is
+// bounded by the route table.
+type serverMetrics struct {
+	requests  *obs.CounterVec // by route pattern
+	responses *obs.CounterVec // by status class ("2xx", "4xx", ...)
+	duration  *obs.Histogram
+}
+
 // Server routes lilyd's API onto an engine.
 type Server struct {
 	eng *engine.Engine
 	mux *http.ServeMux
+	reg *obs.Registry
+
+	// Logger, when set before the server starts handling traffic, gets
+	// one structured record per request (route, method, path, status,
+	// duration). Nil disables request logging.
+	Logger *slog.Logger
+
+	metrics  serverMetrics
+	inflight atomic.Int64
 }
 
-// New builds the HTTP handler for an engine.
+// New builds the HTTP handler for an engine. The handler's own metrics
+// are registered on the engine's registry so a single GET /metrics
+// scrape covers the HTTP, engine, and flow layers.
 func New(eng *engine.Engine) *Server {
-	s := &Server{eng: eng, mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleDelete)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/svg", s.handleSVG)
-	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s := &Server{eng: eng, mux: http.NewServeMux(), reg: eng.Registry()}
+	s.metrics = serverMetrics{
+		requests: s.reg.CounterVec(metricHTTPRequests,
+			"HTTP requests handled, by registered route pattern.", "route"),
+		responses: s.reg.CounterVec(metricHTTPResponses,
+			"HTTP responses sent, by status class.", "class"),
+		duration: s.reg.Histogram(metricHTTPDuration,
+			"HTTP request handling time.", obs.DefBuckets),
+	}
+	s.reg.GaugeFunc(metricHTTPInFlight, "HTTP requests currently being handled.",
+		func() float64 { return float64(s.inflight.Load()) })
+	s.route("POST /v1/jobs", s.handleSubmit)
+	s.route("GET /v1/jobs", s.handleList)
+	s.route("GET /v1/jobs/{id}", s.handleStatus)
+	s.route("DELETE /v1/jobs/{id}", s.handleDelete)
+	s.route("GET /v1/jobs/{id}/result", s.handleResult)
+	s.route("GET /v1/jobs/{id}/svg", s.handleSVG)
+	s.route("GET /v1/jobs/{id}/trace", s.handleTrace)
+	s.route("GET /v1/benchmarks", s.handleBenchmarks)
+	s.route("GET /v1/stats", s.handleStats)
+	s.route("GET /metrics", s.handleMetrics)
+	s.route("GET /healthz", s.handleHealth)
 	return s
+}
+
+// route registers a handler wrapped with request instrumentation: an
+// in-flight gauge, per-route request counter, status-class counter,
+// latency histogram, and (when Logger is set) one structured log record
+// per request.
+func (s *Server) route(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		elapsed := time.Since(start)
+		s.metrics.requests.With(pattern).Inc()
+		s.metrics.responses.With(statusClass(rec.status)).Inc()
+		s.metrics.duration.Observe(elapsed.Seconds())
+		if lg := s.Logger; lg != nil {
+			lg.Info("request",
+				slog.String("route", pattern),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", rec.status),
+				slog.Duration("duration", elapsed),
+			)
+		}
+	})
+}
+
+// statusRecorder captures the response status for metrics and logging.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// statusClass folds an HTTP status into its hundreds class ("2xx").
+func statusClass(code int) string {
+	if code < 100 || code > 599 {
+		return "other"
+	}
+	return strconv.Itoa(code/100) + "xx"
 }
 
 // ServeHTTP implements http.Handler.
@@ -323,6 +419,39 @@ func (s *Server) finishedJob(w http.ResponseWriter, r *http.Request) (*engine.Jo
 			fmt.Errorf("job %s is %s; poll %s", j.ID(), st.State, "/v1/jobs/"+j.ID()))
 		return nil, nil, false
 	}
+}
+
+// TraceResponse is the GET /v1/jobs/{id}/trace body: the job's span
+// forest as recorded so far. Running spans carry duration_ns = -1, so a
+// live job serves a partial trace that fills in as phases complete. The
+// trace shares the job's retention lifecycle: evicted or DELETEd jobs
+// answer 410 Gone here exactly as on the status endpoint.
+type TraceResponse struct {
+	ID    string          `json:"id"`
+	State string          `json:"state"`
+	Spans []*obs.SpanNode `json:"spans"`
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	if !j.Traced() {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("job %s has no trace (engine tracing is disabled)", j.ID()))
+		return
+	}
+	writeJSON(w, http.StatusOK, TraceResponse{
+		ID:    j.ID(),
+		State: j.Status().State,
+		Spans: j.Trace(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", PrometheusContentType)
+	_ = s.reg.WritePrometheus(w)
 }
 
 func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {

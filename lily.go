@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime/debug"
 	"sync"
 
 	"lily/internal/bench"
@@ -31,6 +32,7 @@ import (
 	"lily/internal/logic"
 	"lily/internal/mis"
 	"lily/internal/netlist"
+	"lily/internal/obs"
 	netopt "lily/internal/opt"
 	"lily/internal/place"
 	"lily/internal/timing"
@@ -321,41 +323,62 @@ func RunFlowContext(ctx context.Context, c *Circuit, opt FlowOptions) (*FlowResu
 func runPortfolio(ctx context.Context, c *Circuit, opt FlowOptions) (*FlowResult, error) {
 	base := opt
 	base.AutoTune = false
-	variants := []func(FlowOptions) FlowOptions{
-		func(o FlowOptions) FlowOptions { return o },
-		func(o FlowOptions) FlowOptions { o.RePlaceMapped = true; return o },
-		func(o FlowOptions) FlowOptions { o.ReplaceEvery = 10; return o },
-		func(o FlowOptions) FlowOptions { o.WireWeight = 0.5; return o },
+	type variantDef struct {
+		name string
+		mod  func(FlowOptions) FlowOptions
 	}
+	variants := []variantDef{
+		{"default", func(o FlowOptions) FlowOptions { return o }},
+		{"replace-mapped", func(o FlowOptions) FlowOptions { o.RePlaceMapped = true; return o }},
+		{"replace-every-10", func(o FlowOptions) FlowOptions { o.ReplaceEvery = 10; return o }},
+		{"wire-weight-0.5", func(o FlowOptions) FlowOptions { o.WireWeight = 0.5; return o }},
+	}
+	ctx, pspan := obs.StartSpan(ctx, "portfolio")
+	defer pspan.End()
 	results := make([]*FlowResult, len(variants))
 	errs := make([]error, len(variants))
 	var wg sync.WaitGroup
 	for i, v := range variants {
 		wg.Add(1)
-		go func(i int, vopt FlowOptions) {
+		// One child span per variant — losers included, so a trace shows
+		// what every arm of the portfolio cost.
+		vctx, vspan := obs.StartSpan(ctx, "variant")
+		vspan.SetInt("index", int64(i))
+		vspan.SetStr("config", v.name)
+		go func(i int, vopt FlowOptions, vctx context.Context, vspan *obs.Span) {
 			defer wg.Done()
+			defer vspan.End()
 			defer func() {
 				if r := recover(); r != nil {
-					errs[i] = fmt.Errorf("lily: portfolio variant %d panicked: %v", i, r)
+					// Keep the goroutine stack: without it a portfolio
+					// panic is undiagnosable (the recover site is here,
+					// not at the fault).
+					stack := debug.Stack()
+					errs[i] = fmt.Errorf("lily: portfolio variant %d panicked: %v\n%s", i, r, stack)
+					vspan.SetStr("stack", string(stack))
+					vspan.SetError(errs[i])
 				}
 			}()
-			results[i], errs[i] = runFlowOnce(ctx, c.Clone(), vopt)
-		}(i, v(base))
+			results[i], errs[i] = runFlowOnce(vctx, c.Clone(), vopt)
+			vspan.SetError(errs[i])
+		}(i, v.mod(base), vctx, vspan)
 	}
 	wg.Wait()
-	var best *FlowResult
+	best := -1
 	for i, res := range results {
 		if errs[i] != nil || res == nil {
 			continue
 		}
-		if best == nil || betterResult(res, best, opt.Objective) {
-			best = res
+		if best < 0 || betterResult(res, results[best], opt.Objective) {
+			best = i
 		}
 	}
-	if best == nil {
+	if best < 0 {
 		return nil, fmt.Errorf("lily: all portfolio variants failed: %w", errors.Join(errs...))
 	}
-	return best, nil
+	pspan.SetInt("winner", int64(best))
+	pspan.SetStr("winner_config", variants[best].name)
+	return results[best], nil
 }
 
 func betterResult(a, b *FlowResult, o Objective) bool {
@@ -400,7 +423,13 @@ func RenderLayoutSVGContext(ctx context.Context, c *Circuit, opt FlowOptions, w 
 // SIS-style .gate BLIF (with placement attached as #@ directives), so
 // external tools can consume the result.
 func WriteMappedBLIF(c *Circuit, opt FlowOptions, w io.Writer) (*FlowResult, error) {
-	res, lres, err := runPipeline(context.Background(), c, opt)
+	return WriteMappedBLIFContext(context.Background(), c, opt, w)
+}
+
+// WriteMappedBLIFContext is WriteMappedBLIF with cancellation (see
+// RunFlowContext), for parity with the other pipeline entry points.
+func WriteMappedBLIFContext(ctx context.Context, c *Circuit, opt FlowOptions, w io.Writer) (*FlowResult, error) {
+	res, lres, err := runPipeline(ctx, c, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -429,24 +458,35 @@ func runPipeline(ctx context.Context, c *Circuit, opt FlowOptions) (*FlowResult,
 	srcNet := c.net
 	if opt.PreOptimize {
 		// Optimize a copy so the caller's Circuit is untouched.
+		_, sp := obs.StartSpan(ctx, "preopt")
 		srcNet = c.net.Clone()
 		if _, err := netopt.Optimize(srcNet, netopt.DefaultOptions()); err != nil {
+			sp.SetError(err)
+			sp.End()
 			return nil, nil, err
 		}
+		sp.End()
 		c = &Circuit{net: srcNet}
 	}
 
 	var pre *decomp.Result
 	var err error
+	pctx, sp := obs.StartSpan(ctx, "premap")
 	if opt.LayoutDrivenDecomposition {
-		pre, err = placedPremap(ctx, c.net, lib)
+		pre, err = placedPremap(pctx, c.net, lib)
 	} else {
 		pre, err = decomp.Premap(c.net)
 	}
 	if err != nil {
+		sp.SetError(err)
+		sp.End()
 		return nil, nil, err
 	}
 	sub := pre.Inchoate
+	if sp.Enabled() {
+		sp.SetInt("subject_nodes", int64(sub.NumLogic()))
+	}
+	sp.End()
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
@@ -470,12 +510,19 @@ func runPipeline(ctx context.Context, c *Circuit, opt FlowOptions) (*FlowResult,
 		nl = res.Netlist
 		lilyStats = res.Stats
 	case MapperMIS:
+		// MIS covers without placement feedback; its DP is still the
+		// cover phase of the pipeline.
+		_, msp := obs.StartSpan(ctx, "cover")
+		msp.SetStr("mapper", "mis2.1")
 		mopt := mis.DefaultOptions(misMode(opt.Objective))
 		mopt.TreeMode = opt.TreeMode
 		nl, err = mis.Map(sub, lib, mopt)
 		if err != nil {
+			msp.SetError(err)
+			msp.End()
 			return nil, nil, err
 		}
+		msp.End()
 	default:
 		return nil, nil, fmt.Errorf("lily: unknown mapper %d", opt.Mapper)
 	}
@@ -488,10 +535,13 @@ func runPipeline(ctx context.Context, c *Circuit, opt FlowOptions) (*FlowResult,
 
 	var buffersInserted int
 	if opt.FanoutOptimize {
+		_, fsp := obs.StartSpan(ctx, "fanout")
 		// Buffer placement needs positions; MIS netlists get their global
 		// placement first (the backend would have run it anyway).
 		if !layout.HasSeedPositions(nl) {
 			if err := layout.GlobalPlace(nl, lib, place.DefaultConfig()); err != nil {
+				fsp.SetError(err)
+				fsp.End()
 				return nil, nil, err
 			}
 		}
@@ -501,15 +551,23 @@ func runPipeline(ctx context.Context, c *Circuit, opt FlowOptions) (*FlowResult,
 		}
 		fst, err := fanout.Optimize(nl, lib, fopt)
 		if err != nil {
+			fsp.SetError(err)
+			fsp.End()
 			return nil, nil, err
 		}
 		buffersInserted = fst.BuffersInserted
+		fsp.SetInt("buffers_inserted", int64(buffersInserted))
+		fsp.End()
 	}
 
 	if opt.VerifyEquivalence {
+		_, vsp := obs.StartSpan(ctx, "verify")
 		if err := verifyEquivalent(c.net, nl); err != nil {
+			vsp.SetError(err)
+			vsp.End()
 			return nil, nil, err
 		}
+		vsp.End()
 	}
 
 	if err := ctx.Err(); err != nil {
@@ -517,22 +575,38 @@ func runPipeline(ctx context.Context, c *Circuit, opt FlowOptions) (*FlowResult,
 	}
 	lopt := layout.DefaultOptions()
 	lopt.Anneal = opt.AnnealPlacement
+	_, lsp := obs.StartSpan(ctx, "layout")
 	lres, err := layout.Place(nl, lib, lopt)
 	if err != nil {
+		lsp.SetError(err)
+		lsp.End()
 		return nil, nil, err
 	}
+	if lsp.Enabled() {
+		lsp.SetInt("rows", int64(lres.Rows))
+		lsp.SetFloat("chip_area_mm2", lres.ChipAreaMM2())
+		lsp.SetFloat("wirelength_mm", lres.WirelengthMM())
+	}
+	lsp.End()
+	_, tsp := obs.StartSpan(ctx, "timing")
 	topt := timing.DefaultOptions()
 	tres, err := timing.Analyze(nl, lib, topt)
 	if err != nil {
+		tsp.SetError(err)
+		tsp.End()
 		return nil, nil, err
 	}
 	var slackRep *timing.SlackReport
 	if opt.ClockPeriodNS > 0 {
 		slackRep, err = timing.Slack(nl, lib, tres, opt.ClockPeriodNS)
 		if err != nil {
+			tsp.SetError(err)
+			tsp.End()
 			return nil, nil, err
 		}
 	}
+	tsp.SetFloat("delay_ns", tres.MaxDelay)
+	tsp.End()
 
 	out := &FlowResult{
 		Circuit:            c.net.Name,

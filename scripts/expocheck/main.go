@@ -1,0 +1,151 @@
+// Command expocheck validates Prometheus text exposition format v0.0.4
+// read from stdin: every sample line must parse (name[{selector}] value),
+// every family must be introduced by a # TYPE line with a known kind
+// before its first sample, no family may be TYPEd twice, and histogram
+// series must be internally consistent (_count equals the +Inf bucket
+// for every selector). -require lists metric families that must be
+// present. Exit status 0 on success, 1 on any violation.
+//
+// The CI obs-smoke job pipes lilyd's GET /metrics through this tool, so
+// an unparsable exposition fails the build.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	require := flag.String("require", "", "comma-separated metric families that must be present")
+	flag.Parse()
+	if err := check(os.Stdin, splitNonEmpty(*require)); err != nil {
+		fmt.Fprintf(os.Stderr, "expocheck: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("expocheck: OK")
+}
+
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// histKey identifies one histogram series (family + label prefix).
+type histKey struct {
+	family string
+	labels string // selector minus the le pair
+}
+
+func check(r *os.File, required []string) error {
+	typed := make(map[string]string) // family -> kind
+	samples := 0
+	counts := make(map[histKey]float64)
+	infs := make(map[histKey]float64)
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, kind, ok := strings.Cut(rest, " ")
+			if !ok {
+				return fmt.Errorf("line %d: malformed TYPE line %q", lineno, line)
+			}
+			switch kind {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("line %d: unknown metric type %q", lineno, kind)
+			}
+			if _, dup := typed[name]; dup {
+				return fmt.Errorf("line %d: family %s TYPEd twice", lineno, name)
+			}
+			typed[name] = kind
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			return fmt.Errorf("line %d: unexpected comment %q", lineno, line)
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			return fmt.Errorf("line %d: malformed sample %q", lineno, line)
+		}
+		key, valStr := line[:i], line[i+1:]
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return fmt.Errorf("line %d: unparsable value %q: %v", lineno, valStr, err)
+		}
+		name, selector := key, ""
+		if j := strings.IndexByte(key, '{'); j >= 0 {
+			if !strings.HasSuffix(key, "}") {
+				return fmt.Errorf("line %d: malformed selector in %q", lineno, key)
+			}
+			name, selector = key[:j], key[j+1:len(key)-1]
+		}
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if trimmed, ok := strings.CutSuffix(name, suffix); ok && typed[trimmed] == "histogram" {
+				family = trimmed
+				break
+			}
+		}
+		if _, ok := typed[family]; !ok {
+			return fmt.Errorf("line %d: sample %q has no preceding TYPE line", lineno, line)
+		}
+		samples++
+
+		// Histogram consistency bookkeeping.
+		if typed[family] == "histogram" {
+			switch {
+			case strings.HasSuffix(name, "_count"):
+				counts[histKey{family, selector}] = v
+			case strings.HasSuffix(name, "_bucket"):
+				le, rest := "", make([]string, 0, 4)
+				for _, pair := range strings.Split(selector, ",") {
+					if cut, ok := strings.CutPrefix(pair, "le="); ok {
+						le = strings.Trim(cut, `"`)
+					} else if pair != "" {
+						rest = append(rest, pair)
+					}
+				}
+				if le == "+Inf" {
+					infs[histKey{family, strings.Join(rest, ",")}] = v
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if samples == 0 {
+		return fmt.Errorf("no samples in exposition")
+	}
+	for k, cnt := range counts {
+		inf, ok := infs[k]
+		if !ok {
+			return fmt.Errorf("histogram %s{%s} has _count but no +Inf bucket", k.family, k.labels)
+		}
+		if cnt != inf {
+			return fmt.Errorf("histogram %s{%s}: _count %v != +Inf bucket %v", k.family, k.labels, cnt, inf)
+		}
+	}
+	for _, name := range required {
+		if _, ok := typed[name]; !ok {
+			return fmt.Errorf("required family %s missing", name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Observability smoke test: start lilyd, run one real mapping job, then
+# assert GET /metrics serves parsable Prometheus exposition (including
+# the job- and phase-duration histograms) and GET /v1/jobs/{id}/trace
+# returns a span tree covering the pipeline phases. Run from the repo
+# root; CI runs this as the obs-smoke job.
+set -euo pipefail
+
+ADDR="127.0.0.1:18080"
+BASE="http://$ADDR"
+TMP="$(mktemp -d)"
+trap 'kill "$LILYD_PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+echo "== build"
+go build -o "$TMP/lilyd" ./cmd/lilyd
+
+echo "== start lilyd on $ADDR"
+"$TMP/lilyd" -addr "$ADDR" -workers 2 -log-format json >"$TMP/lilyd.log" 2>&1 &
+LILYD_PID=$!
+
+for i in $(seq 1 100); do
+    if curl -fs "$BASE/healthz" >/dev/null 2>&1; then break; fi
+    if ! kill -0 "$LILYD_PID" 2>/dev/null; then
+        echo "lilyd died during startup:" >&2
+        cat "$TMP/lilyd.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+curl -fs "$BASE/healthz" >/dev/null
+
+echo "== submit job"
+SUBMIT=$(curl -fs -X POST "$BASE/v1/jobs" -d '{
+    "benchmark": "misex1",
+    "options": {"mapper": "lily", "objective": "area", "fanout_optimize": true}
+}')
+JOB_ID=$(printf '%s' "$SUBMIT" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')
+if [ -z "$JOB_ID" ]; then
+    echo "could not extract job id from: $SUBMIT" >&2
+    exit 1
+fi
+echo "   job: $JOB_ID"
+
+echo "== wait for completion"
+STATE=""
+for i in $(seq 1 30); do
+    STATUS=$(curl -fs "$BASE/v1/jobs/$JOB_ID?wait=5s")
+    STATE=$(printf '%s' "$STATUS" | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p')
+    case "$STATE" in
+        done) break ;;
+        failed|canceled)
+            echo "job terminated $STATE: $STATUS" >&2
+            exit 1 ;;
+    esac
+done
+if [ "$STATE" != "done" ]; then
+    echo "job never finished (last state: $STATE)" >&2
+    exit 1
+fi
+
+echo "== scrape /metrics and validate exposition"
+CT=$(curl -fs -o "$TMP/metrics.txt" -w '%{content_type}' "$BASE/metrics")
+case "$CT" in
+    "text/plain; version=0.0.4"*) ;;
+    *)  echo "unexpected /metrics Content-Type: $CT" >&2
+        exit 1 ;;
+esac
+go run ./scripts/expocheck \
+    -require "lily_job_duration_seconds,lily_phase_duration_seconds,lily_jobs_total,lily_jobs_submitted_total,lily_cones_mapped_total,lily_wire_cost_evaluations_total,lily_http_requests_total" \
+    <"$TMP/metrics.txt"
+
+echo "== fetch trace and check phase coverage"
+curl -fs "$BASE/v1/jobs/$JOB_ID/trace" >"$TMP/trace.json"
+for phase in job premap placement cover fanout layout timing; do
+    if ! grep -q "\"name\": *\"$phase\"" "$TMP/trace.json"; then
+        echo "trace missing $phase span:" >&2
+        cat "$TMP/trace.json" >&2
+        exit 1
+    fi
+done
+
+echo "== graceful shutdown"
+kill -TERM "$LILYD_PID"
+for i in $(seq 1 100); do
+    kill -0 "$LILYD_PID" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$LILYD_PID" 2>/dev/null; then
+    echo "lilyd did not exit after SIGTERM" >&2
+    exit 1
+fi
+
+echo "obs-smoke: OK"
