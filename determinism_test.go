@@ -10,6 +10,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"runtime"
 	"testing"
 	"time"
 
@@ -116,6 +117,64 @@ func TestEngineMatchesDirectRun(t *testing.T) {
 	}
 	if got := resultBytes(t, out.Result); !bytes.Equal(direct, got) {
 		t.Fatalf("engine result differs from direct run:\n%s\n%s", direct, got)
+	}
+}
+
+// mappedBytes runs the full pipeline and returns the mapped, placed
+// netlist as the exact bytes WriteMappedBLIF emits.
+func mappedBytes(t *testing.T, name string, opt lily.FlowOptions) []byte {
+	t.Helper()
+	c, err := lily.GenerateBenchmark(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := lily.WriteMappedBLIF(c, opt, &buf); err != nil {
+		t.Fatalf("WriteMappedBLIF(%s, %+v): %v", name, opt, err)
+	}
+	return buf.Bytes()
+}
+
+// TestMappedBLIFGOMAXPROCSInvariant is the determinism soak guarding the
+// hot-path work (DESIGN.md §11): the mapped netlist bytes must not depend
+// on scheduler parallelism. Each circuit/objective pair maps under
+// GOMAXPROCS ∈ {1, 2, NumCPU} and every run must emit byte-identical
+// BLIF — the scratch pools, memoized match lists, and epoch caches the
+// cover DP reuses are all per-run state, so any divergence here means
+// shared mutable state leaked between goroutines. CI additionally runs
+// this under -race (the full-suite race pass), which turns such leaks
+// into hard failures even when the bytes happen to agree.
+func TestMappedBLIFGOMAXPROCSInvariant(t *testing.T) {
+	levels := []int{1, 2, runtime.NumCPU()}
+	cases := []struct {
+		name string
+		opt  lily.FlowOptions
+	}{
+		{"misex1", lily.FlowOptions{Mapper: lily.MapperLily, Objective: lily.ObjectiveArea}},
+		{"misex1", lily.FlowOptions{Mapper: lily.MapperLily, Objective: lily.ObjectiveDelay}},
+		// AutoTune races the §5 portfolio on separate goroutines; its
+		// winner selection must also be schedule-independent.
+		{"misex1", lily.FlowOptions{Mapper: lily.MapperLily, AutoTune: true}},
+		{"b9", lily.FlowOptions{Mapper: lily.MapperLily, Objective: lily.ObjectiveArea}},
+	}
+	if testing.Short() {
+		cases = cases[:1]
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, tc := range cases {
+		var want []byte
+		for _, procs := range levels {
+			runtime.GOMAXPROCS(procs)
+			got := mappedBytes(t, tc.name, tc.opt)
+			if want == nil {
+				want = got
+				continue
+			}
+			if !bytes.Equal(want, got) {
+				t.Errorf("%s/%v: GOMAXPROCS=%d changed the mapped BLIF (%d vs %d bytes)",
+					tc.name, tc.opt.Objective, procs, len(want), len(got))
+			}
+		}
 	}
 }
 

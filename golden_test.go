@@ -1,0 +1,174 @@
+// Golden equivalence tests: every benchmark circuit is mapped in both Area
+// and Delay mode, formally verified against its subject graph (the flow's
+// VerifyEquivalence step runs internal/equiv), and compared against pinned
+// goldens: the SHA-256 of the mapped, placed BLIF output and the paper's
+// cost metrics to 1e-9. The BLIF hash catches any behavioral drift in the
+// mapper — the hot-path optimizations of the cover DP must keep output
+// byte-identical — while the metric goldens catch cost regressions that a
+// purely functional check would miss.
+//
+// Refresh the goldens (only after an intentional mapper change) with
+//
+//	go test -run TestGolden -update-golden .
+package lily_test
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"lily"
+)
+
+var updateGolden = flag.Bool("update-golden", false,
+	"rewrite testdata/golden.json from the current mapper output")
+
+// goldenEntry pins one (circuit, objective) mapping outcome.
+type goldenEntry struct {
+	// BLIFSHA256 is the hash of the WriteMappedBLIF byte stream.
+	BLIFSHA256 string `json:"blif_sha256"`
+	// Gates is the mapped cell count.
+	Gates int `json:"gates"`
+	// The paper's cost metrics, asserted to 1e-9.
+	ActiveAreaMM2 float64 `json:"active_area_mm2"`
+	ChipAreaMM2   float64 `json:"chip_area_mm2"`
+	WirelengthMM  float64 `json:"wirelength_mm"`
+	DelayNS       float64 `json:"delay_ns"`
+}
+
+const goldenPath = "testdata/golden.json"
+
+// goldenTol is the absolute tolerance on metric goldens. The mapper is
+// deterministic, so stored values should reproduce exactly; 1e-9 allows
+// only for JSON round-trip rounding of float64 values.
+const goldenTol = 1e-9
+
+// shortSkip lists the circuits skipped under -short: the four largest
+// pipelines dominate the suite's wall time, and the remaining eleven keep
+// the same code paths hot for quick local iteration. CI and the tier-1
+// `go test ./...` run everything.
+var shortSkip = map[string]bool{
+	"C5315": true, "apex3": true, "apex6": true, "C3540": true,
+}
+
+func goldenKey(circuit string, obj lily.Objective) string {
+	return fmt.Sprintf("%s/%s", circuit, obj)
+}
+
+func loadGoldens(t *testing.T) map[string]goldenEntry {
+	t.Helper()
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read goldens (run `go test -run TestGolden -update-golden .` to create): %v", err)
+	}
+	var m map[string]goldenEntry
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("parse %s: %v", goldenPath, err)
+	}
+	return m
+}
+
+func writeGoldens(t *testing.T, m map[string]goldenEntry) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %d goldens to %s", len(m), goldenPath)
+}
+
+// mapGolden runs the Lily pipeline for one (circuit, objective) with formal
+// equivalence checking enabled and returns the pinned entry.
+func mapGolden(t *testing.T, circuit string, obj lily.Objective) goldenEntry {
+	t.Helper()
+	c, err := lily.GenerateBenchmark(circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	res, err := lily.WriteMappedBLIF(c, lily.FlowOptions{
+		Mapper:            lily.MapperLily,
+		Objective:         obj,
+		VerifyEquivalence: true, // internal/equiv: BDD with simulation fallback
+	}, &buf)
+	if err != nil {
+		t.Fatalf("%s/%s: %v", circuit, obj, err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return goldenEntry{
+		BLIFSHA256:    hex.EncodeToString(sum[:]),
+		Gates:         res.Gates,
+		ActiveAreaMM2: res.ActiveAreaMM2,
+		ChipAreaMM2:   res.ChipAreaMM2,
+		WirelengthMM:  res.WirelengthMM,
+		DelayNS:       res.DelayNS,
+	}
+}
+
+// TestGoldenMapping is the table-driven golden harness: every benchmark
+// circuit, both objectives, verified and pinned.
+func TestGoldenMapping(t *testing.T) {
+	circuits := lily.BenchmarkNames()
+	sort.Strings(circuits)
+	objectives := []lily.Objective{lily.ObjectiveArea, lily.ObjectiveDelay}
+
+	if *updateGolden {
+		goldens := make(map[string]goldenEntry)
+		for _, circuit := range circuits {
+			for _, obj := range objectives {
+				goldens[goldenKey(circuit, obj)] = mapGolden(t, circuit, obj)
+			}
+		}
+		writeGoldens(t, goldens)
+		return
+	}
+
+	goldens := loadGoldens(t)
+	for _, circuit := range circuits {
+		for _, obj := range objectives {
+			circuit, obj := circuit, obj
+			t.Run(goldenKey(circuit, obj), func(t *testing.T) {
+				if testing.Short() && shortSkip[circuit] {
+					t.Skipf("skipping %s under -short (covered by the full run)", circuit)
+				}
+				want, ok := goldens[goldenKey(circuit, obj)]
+				if !ok {
+					t.Fatalf("no golden for %s (refresh with -update-golden)", goldenKey(circuit, obj))
+				}
+				got := mapGolden(t, circuit, obj)
+				if got.BLIFSHA256 != want.BLIFSHA256 {
+					t.Errorf("mapped BLIF hash drifted: got %s want %s\n"+
+						"the mapper's output changed — if intentional, refresh with -update-golden",
+						got.BLIFSHA256, want.BLIFSHA256)
+				}
+				if got.Gates != want.Gates {
+					t.Errorf("gates = %d, want %d", got.Gates, want.Gates)
+				}
+				check := func(name string, got, want float64) {
+					if math.Abs(got-want) > goldenTol {
+						t.Errorf("%s = %.12f, want %.12f (|Δ| = %g > %g)",
+							name, got, want, math.Abs(got-want), goldenTol)
+					}
+				}
+				check("active_area_mm2", got.ActiveAreaMM2, want.ActiveAreaMM2)
+				check("chip_area_mm2", got.ChipAreaMM2, want.ChipAreaMM2)
+				check("wirelength_mm", got.WirelengthMM, want.WirelengthMM)
+				check("delay_ns", got.DelayNS, want.DelayNS)
+			})
+		}
+	}
+}

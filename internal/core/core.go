@@ -5,6 +5,18 @@
 // (area mode, §3) or its wiring load capacitance (delay mode, §4). The
 // positional information comes from a balanced global placement of the
 // inchoate network that is updated incrementally as matches are chosen.
+//
+// Hot-path engineering (DESIGN.md §11): the cover DP evaluates a wire cost
+// for every candidate match of every node, so its inner loop is built
+// around three invariants — match lists are memoized once per node inside
+// internal/match, the per-signal true-fanout lists are cached under a
+// lifecycle epoch that setState/replaceGlobal advance, and all per-match
+// geometry lives in reusable scratch buffers (matchGeometry, wire.Scratch,
+// timing.BlockArrival.Fill) so steady-state evaluation performs no
+// allocations. Every fast path is bit-identical to the straightforward
+// formulation it replaced: float additions replay in the original order and
+// enclosing rectangles are extended in the original point order, keeping
+// mapped output byte-identical (pinned by the root golden tests).
 package core
 
 import (
@@ -170,28 +182,10 @@ func mapPlaced(ctx context.Context, sub *logic.Network, lib *library.Library, pl
 	// a no-op without a tracer in ctx (see internal/obs).
 	ctx, span := obs.StartSpan(ctx, "cover")
 	defer span.End()
-	n := len(sub.Nodes)
-	lm := &lily{
-		ctx: ctx, fm: obs.FlowMetricsFrom(ctx),
-		sub: sub, lib: lib, opt: opt, pl: pl,
-		mt:            match.NewMatcher(sub, lib),
-		state:         make([]State, n),
-		best:          make([]*match.Match, n),
-		cost:          make([]float64, n),
-		wCost:         make([]float64, n),
-		areaSum:       make([]float64, n),
-		mapPos:        make([]geom.Point, n),
-		blockA:        make([]*timing.BlockArrival, n),
-		committed:     make([]*match.Match, n),
-		hawkPos:       make([]geom.Point, n),
-		hawkBlock:     make([]*timing.BlockArrival, n),
-		hawkConsumers: make(map[logic.NodeID][]hawkRef),
-		matchCache:    make(map[logic.NodeID][]*match.Match),
-		everDove:      make([]bool, n),
-		loadHints:     loadHints,
-	}
+	lm := newLily(ctx, sub, lib, pl, opt, loadHints)
+	defer wire.Put(lm.ws)
 	if opt.TraceLifecycle {
-		lm.trace = make([]Transition, 0, 4*n)
+		lm.trace = make([]Transition, 0, 4*len(sub.Nodes))
 	}
 	res, err := lm.run()
 	if err != nil {
@@ -206,6 +200,37 @@ func mapPlaced(ctx context.Context, sub *logic.Network, lib *library.Library, pl
 		span.SetInt("replacements", int64(res.Stats.Replacements))
 	}
 	return res, nil
+}
+
+// newLily allocates the mapper state for one run: the per-node DP arrays,
+// the lifecycle bookkeeping, and the scratch buffers the hot path reuses.
+func newLily(ctx context.Context, sub *logic.Network, lib *library.Library, pl *place.Result, opt Options, loadHints map[logic.NodeID]float64) *lily {
+	n := len(sub.Nodes)
+	return &lily{
+		ctx: ctx, fm: obs.FlowMetricsFrom(ctx),
+		sub: sub, lib: lib, opt: opt, pl: pl,
+		mt:            match.NewMatcher(sub, lib),
+		ws:            wire.Get(),
+		state:         make([]State, n),
+		best:          make([]*match.Match, n),
+		cost:          make([]float64, n),
+		wCost:         make([]float64, n),
+		areaSum:       make([]float64, n),
+		mapPos:        make([]geom.Point, n),
+		blockA:        make([]*timing.BlockArrival, n),
+		committed:     make([]*match.Match, n),
+		hawkPos:       make([]geom.Point, n),
+		hawkBlock:     make([]*timing.BlockArrival, n),
+		hawkConsumers: make([][]hawkRef, n),
+		everDove:      make([]bool, n),
+		loadHints:     loadHints,
+		mergedStamp:   make([]uint32, n),
+		fanEpoch:      1,
+		fanStamp:      make([]uint64, n),
+		fanLists:      make([][]trueFanout, n),
+		evalBlock:     new(timing.BlockArrival),
+		bestBlock:     new(timing.BlockArrival),
+	}
 }
 
 // baseWidth returns the inchoate cell-width function (NAND2 and INV base
@@ -245,12 +270,12 @@ type lily struct {
 	blockA  []*timing.BlockArrival
 
 	// Committed (hawk) values.
-	committed     []*match.Match
-	hawkPos       []geom.Point
-	hawkBlock     []*timing.BlockArrival
-	hawkConsumers map[logic.NodeID][]hawkRef
+	committed []*match.Match
+	hawkPos   []geom.Point
+	hawkBlock []*timing.BlockArrival
+	// hawkConsumers[vi] lists the committed gates consuming signal vi.
+	hawkConsumers [][]hawkRef
 
-	matchCache map[logic.NodeID][]*match.Match
 	// everDove marks nodes that were merged away at least once; a later
 	// commit turning such a node into a hawk is a reincarnation (logic
 	// duplication across cones, Fig 2.2).
@@ -261,6 +286,37 @@ type lily struct {
 	// loadHints holds per-node output loads recorded by a previous delay
 	// pass (TwoPassDelay); nil on the first pass.
 	loadHints map[logic.NodeID]float64
+
+	// --- hot-path scratch state (DESIGN.md §11) ---
+
+	// ws holds the pooled wire-length work buffers for the run.
+	ws *wire.Scratch
+	// geo is the per-match geometry scratch rebuilt by geometry().
+	geo matchGeometry
+	// rects accumulates the fanin/fanout rectangles of the current match.
+	rects []geom.Rect
+	// ptsWork is a reusable pin-list buffer for the net estimators.
+	ptsWork []geom.Point
+	// mergedStamp/mergedEpoch implement the O(1)-clear membership set for
+	// the current match's covered nodes (v is merged iff
+	// mergedStamp[v] == mergedEpoch).
+	mergedStamp []uint32
+	mergedEpoch uint32
+	// fanEpoch/fanStamp/fanLists cache the per-signal true-fanout lists.
+	// The epoch advances on every lifecycle transition except
+	// egg→nestling (both count as live consumers at unchanged positions)
+	// and on every global re-placement; a node's cached list is valid iff
+	// fanStamp[v] == fanEpoch.
+	fanEpoch uint64
+	fanStamp []uint64
+	fanLists [][]trueFanout
+	// Delay-mode scratch: per-pin input arrivals, per-distinct-input
+	// arrivals, and a double-buffered block-arrival pair (evalBlock is
+	// filled per match; the buffers swap when a match takes the lead).
+	inArr     []timing.Arrival
+	arrBuf    []timing.Arrival
+	evalBlock *timing.BlockArrival
+	bestBlock *timing.BlockArrival
 
 	stats LifecycleStats
 	trace []Transition
@@ -378,13 +434,10 @@ func (lm *lily) processCone(root logic.NodeID) error {
 	return nil
 }
 
+// matchesAt returns the candidate matches rooted at v. The matcher memoizes
+// per node, so repeated cone visits pay the enumeration cost only once.
 func (lm *lily) matchesAt(v logic.NodeID) []*match.Match {
-	ms, ok := lm.matchCache[v]
-	if !ok {
-		ms = lm.mt.AtNode(v)
-		lm.matchCache[v] = ms
-	}
-	return ms
+	return lm.mt.AtNode(v)
 }
 
 // evaluateNode picks the best match at a nestling.
@@ -425,13 +478,19 @@ type trueFanout struct {
 	hawk bool
 }
 
-// trueFanouts lists the consumers of vi that would exist had mapping
+// cachedFans returns the consumers of vi that would exist had mapping
 // stopped now: committed hawks whose match inputs include vi, plus
-// egg/nestling subject fanouts of vi. Non-hawk fanouts covered by the
-// current match (excluded set) are dropped — they are about to disappear
-// into gate(m).
-func (lm *lily) trueFanouts(vi logic.NodeID, excluded map[logic.NodeID]bool) []trueFanout {
-	var out []trueFanout
+// egg/nestling subject fanouts of vi. The list is unfiltered — callers
+// drop non-hawk entries covered by the current match (they are about to
+// disappear into gate(m)) via the merged-set stamp. Lists are cached per
+// node and invalidated by the fan epoch: every lifecycle transition except
+// egg→nestling changes the inclusion, position, or consumer sets and so
+// advances the epoch, as does a global re-placement.
+func (lm *lily) cachedFans(vi logic.NodeID) []trueFanout {
+	if lm.fanStamp[vi] == lm.fanEpoch {
+		return lm.fanLists[vi]
+	}
+	out := lm.fanLists[vi][:0]
 	for _, hr := range lm.hawkConsumers[vi] {
 		out = append(out, trueFanout{
 			node: hr.hawk, pos: lm.hawkPos[hr.hawk], cap: hr.gate.InputCap, hawk: true,
@@ -442,13 +501,12 @@ func (lm *lily) trueFanouts(vi logic.NodeID, excluded map[logic.NodeID]bool) []t
 		if st != StateEgg && st != StateNestling {
 			continue
 		}
-		if excluded[fo] {
-			continue
-		}
 		out = append(out, trueFanout{
 			node: fo, pos: lm.pl.Pos[fo], cap: lm.baseCap(fo),
 		})
 	}
+	lm.fanLists[vi] = out
+	lm.fanStamp[vi] = lm.fanEpoch
 	return out
 }
 
@@ -459,52 +517,118 @@ func (lm *lily) baseCap(v logic.NodeID) float64 {
 	return lm.lib.Inv.InputCap
 }
 
-// matchGeometry computes the candidate gate position and the per-input
-// fanin point sets for a match.
-type matchGeometry struct {
-	gatePos geom.Point
-	// faninPts[i] holds, for distinct input index i, the positions of the
-	// input signal's driver and surviving true fanouts (gate(m) excluded;
-	// added by the cost and load computations).
-	faninPts   map[logic.NodeID][]geom.Point
-	faninFans  map[logic.NodeID][]trueFanout
-	fanoutPts  []geom.Point
-	mergedSet  map[logic.NodeID]bool
-	boundPins  map[logic.NodeID]int // pins of gate(m) bound to each input
-	distinctIn []logic.NodeID
+// markMerged loads the current match's covered nodes into the O(1)-clear
+// membership set.
+func (lm *lily) markMerged(ids []logic.NodeID) {
+	lm.mergedEpoch++
+	if lm.mergedEpoch == 0 { // wrapped: reset the backing array once per 2^32 clears
+		for i := range lm.mergedStamp {
+			lm.mergedStamp[i] = 0
+		}
+		lm.mergedEpoch = 1
+	}
+	for _, u := range ids {
+		lm.mergedStamp[u] = lm.mergedEpoch
+	}
 }
 
+// inMerged reports whether u is covered by the match currently being
+// evaluated (set by markMerged).
+func (lm *lily) inMerged(u logic.NodeID) bool {
+	return lm.mergedStamp[u] == lm.mergedEpoch
+}
+
+// matchGeometry holds the candidate gate position and the per-input fanin
+// geometry of one match. It is a scratch structure: geometry() rebuilds it
+// in place for every candidate match, so the cover DP's inner loop performs
+// no per-match allocations once the buffers have grown to the circuit's
+// working set. The per-input data are parallel slices indexed by the
+// position of the input in distinctIn; variable-length per-input lists
+// (surviving true fanouts, pin positions) are flat buffers with offsets.
+type matchGeometry struct {
+	gatePos geom.Point
+	// distinctIn lists the distinct input signals of the match in
+	// first-occurrence order of its pin bindings.
+	distinctIn []logic.NodeID
+	// boundPins[i] counts the pins of gate(m) bound to distinctIn[i].
+	boundPins []int
+	// faninRect[i] is the enclosing rectangle of input i's pin set — the
+	// §3.3 fanin rectangle, cached for the rectangle-incremental HPWL
+	// fast path (extend by the gate position instead of re-scanning pins).
+	faninRect []geom.Rect
+	// fansBuf/fanOff: input i's surviving true fanouts (gate(m) excluded)
+	// are fansBuf[fanOff[i]:fanOff[i+1]].
+	fansBuf []trueFanout
+	fanOff  []int
+	// ptsBuf/ptsOff: input i's pin positions (the driver first, then the
+	// surviving fanouts) are ptsBuf[ptsOff[i]:ptsOff[i+1]].
+	ptsBuf []geom.Point
+	ptsOff []int
+	// fanoutPts holds the §3.3 fanout-rectangle points of the match root.
+	fanoutPts []geom.Point
+}
+
+// fans returns distinct input i's surviving true fanouts.
+func (g *matchGeometry) fans(i int) []trueFanout { return g.fansBuf[g.fanOff[i]:g.fanOff[i+1]] }
+
+// pts returns distinct input i's pin positions: driver first, then fans.
+func (g *matchGeometry) pts(i int) []geom.Point { return g.ptsBuf[g.ptsOff[i]:g.ptsOff[i+1]] }
+
+// inputIndex returns the distinctIn position of vi, or -1.
+func (g *matchGeometry) inputIndex(vi logic.NodeID) int {
+	for i, u := range g.distinctIn {
+		if u == vi {
+			return i
+		}
+	}
+	return -1
+}
+
+// geometry computes the candidate gate position and the per-input fanin
+// geometry for a match, into the run's scratch matchGeometry. The returned
+// pointer is invalidated by the next geometry call.
 func (lm *lily) geometry(v logic.NodeID, m *match.Match) *matchGeometry {
-	g := &matchGeometry{
-		faninPts:  make(map[logic.NodeID][]geom.Point),
-		faninFans: make(map[logic.NodeID][]trueFanout),
-		mergedSet: make(map[logic.NodeID]bool, len(m.Merged)),
-		boundPins: make(map[logic.NodeID]int),
-	}
-	for _, u := range m.Merged {
-		g.mergedSet[u] = true
-	}
+	g := &lm.geo
+	g.distinctIn = g.distinctIn[:0]
+	g.boundPins = g.boundPins[:0]
+	g.faninRect = g.faninRect[:0]
+	g.fansBuf = g.fansBuf[:0]
+	g.ptsBuf = g.ptsBuf[:0]
+	g.fanoutPts = g.fanoutPts[:0]
+	g.fanOff = append(g.fanOff[:0], 0)
+	g.ptsOff = append(g.ptsOff[:0], 0)
+
+	lm.markMerged(m.Merged)
 	for _, vi := range m.Inputs {
-		if g.boundPins[vi] == 0 {
-			g.distinctIn = append(g.distinctIn, vi)
+		if j := g.inputIndex(vi); j >= 0 {
+			g.boundPins[j]++
+			continue
 		}
-		g.boundPins[vi]++
+		g.distinctIn = append(g.distinctIn, vi)
+		g.boundPins = append(g.boundPins, 1)
 	}
-	var rects []geom.Rect
+	rects := lm.rects[:0]
 	for _, vi := range g.distinctIn {
-		fans := lm.trueFanouts(vi, g.mergedSet)
-		pts := []geom.Point{lm.inputPos(vi)}
-		for _, tf := range fans {
-			pts = append(pts, tf.pos)
+		p := lm.inputPos(vi)
+		g.ptsBuf = append(g.ptsBuf, p)
+		r := geom.RectAround(p)
+		for _, tf := range lm.cachedFans(vi) {
+			if !tf.hawk && lm.inMerged(tf.node) {
+				continue // non-hawk fanout covered by m: disappears into gate(m)
+			}
+			g.fansBuf = append(g.fansBuf, tf)
+			g.ptsBuf = append(g.ptsBuf, tf.pos)
+			r = r.Extend(tf.pos)
 		}
-		g.faninPts[vi] = pts
-		g.faninFans[vi] = fans
-		rects = append(rects, geom.Enclosing(pts))
+		g.fanOff = append(g.fanOff, len(g.fansBuf))
+		g.ptsOff = append(g.ptsOff, len(g.ptsBuf))
+		g.faninRect = append(g.faninRect, r)
+		rects = append(rects, r)
 	}
 	// Fanout rectangle: unprocessed subject fanouts of v (eggs, thanks to
 	// the reverse-DFS order), plus PO pads v drives.
 	for _, fo := range lm.sub.Fanouts(v) {
-		if !g.mergedSet[fo] {
+		if !lm.inMerged(fo) {
 			g.fanoutPts = append(g.fanoutPts, lm.pl.Pos[fo])
 		}
 	}
@@ -516,30 +640,62 @@ func (lm *lily) geometry(v logic.NodeID, m *match.Match) *matchGeometry {
 	if len(g.fanoutPts) > 0 {
 		rects = append(rects, geom.Enclosing(g.fanoutPts))
 	}
+	lm.rects = rects
 
 	switch lm.opt.Update {
 	case CMOfMerged:
-		pts := make([]geom.Point, 0, len(m.Merged))
+		pts := lm.ptsWork[:0]
 		for _, u := range m.Merged {
 			pts = append(pts, lm.pl.Pos[u])
 		}
+		lm.ptsWork = pts
 		g.gatePos = geom.Centroid(pts)
 	case MedianFans:
 		g.gatePos = wire.MedianPoint(rects)
 	default:
-		g.gatePos = wire.CenterOfMassPoint(rects)
+		g.gatePos = centerOfMass(rects)
 	}
 	return g
 }
 
+// centerOfMass is the zero-alloc equivalent of wire.CenterOfMassPoint: the
+// centroid of the non-empty rectangles' centers, accumulated in slice order
+// so the float additions replay exactly as geom.Centroid's.
+func centerOfMass(rects []geom.Rect) geom.Point {
+	var c geom.Point
+	n := 0
+	for _, r := range rects {
+		if r.IsEmpty() {
+			continue
+		}
+		c = c.Add(r.Center())
+		n++
+	}
+	if n == 0 {
+		return geom.Point{}
+	}
+	return c.Scale(1 / float64(n))
+}
+
 // wireIncrement estimates the added wire length of connecting gate(m) to
-// input vi (§3.4): the net enclosing the driver, its surviving true
+// distinct input i (§3.4): the net enclosing the driver, its surviving true
 // fanouts, and gate(m), estimated by the configured model and divided by
-// the sink count to avoid double-charging shared nets.
-func (lm *lily) wireIncrement(g *matchGeometry, vi logic.NodeID) float64 {
-	pts := append(append([]geom.Point(nil), g.faninPts[vi]...), g.gatePos)
-	sinks := len(g.faninFans[vi]) + 1
-	return wire.NetLength(lm.opt.WireModel, pts) / float64(sinks)
+// the sink count to avoid double-charging shared nets. For the HPWL model
+// the cached fanin rectangle is extended by the gate position — identical
+// to enclosing the full pin list, since Extend folds left to right.
+func (lm *lily) wireIncrement(g *matchGeometry, i int) float64 {
+	sinks := g.fanOff[i+1] - g.fanOff[i] + 1
+	var length float64
+	if lm.opt.WireModel == wire.ModelHPWLSteiner {
+		npins := g.ptsOff[i+1] - g.ptsOff[i] + 1
+		length = wire.HPWLNetLength(g.faninRect[i].Extend(g.gatePos), npins)
+	} else {
+		pts := append(lm.ptsWork[:0], g.pts(i)...)
+		pts = append(pts, g.gatePos)
+		lm.ptsWork = pts
+		length = lm.ws.NetLength(lm.opt.WireModel, pts)
+	}
+	return length / float64(sinks)
 }
 
 // evaluateArea implements the §3 cost: aCost(v,m) plus λ-weighted routing
@@ -554,8 +710,8 @@ func (lm *lily) evaluateArea(v logic.NodeID, matches []*match.Match) error {
 		area := m.Gate.Area
 		wlen := 0.0
 		feasible := true
-		for _, vi := range g.distinctIn {
-			wlen += lm.wireIncrement(g, vi)
+		for i, vi := range g.distinctIn {
+			wlen += lm.wireIncrement(g, i)
 			switch {
 			case lm.sub.Nodes[vi].Kind == logic.KindPI:
 			case lm.state[vi] == StateHawk:
@@ -598,17 +754,20 @@ func (lm *lily) evaluateDelay(v logic.NodeID, matches []*match.Match) error {
 	bestArea := math.Inf(1)
 	var bm *match.Match
 	var bmPos geom.Point
-	var bmBlock *timing.BlockArrival
 	for _, m := range matches {
 		g := lm.geometry(v, m)
 		// Step 1: recompute input arrivals under the current load.
-		inArr := make([]timing.Arrival, len(m.Inputs))
+		// arrBuf[i] is the arrival of distinctIn[i].
+		if cap(lm.inArr) < len(m.Inputs) {
+			lm.inArr = make([]timing.Arrival, len(m.Inputs))
+		}
+		inArr := lm.inArr[:len(m.Inputs)]
+		arrBuf := lm.arrBuf[:0]
 		area := m.Gate.Area
 		feasible := true
-		arrOf := make(map[logic.NodeID]timing.Arrival, len(g.distinctIn))
-		for _, vi := range g.distinctIn {
+		for i, vi := range g.distinctIn {
 			if lm.sub.Nodes[vi].Kind == logic.KindPI {
-				arrOf[vi] = timing.Arrival{}
+				arrBuf = append(arrBuf, timing.Arrival{})
 				continue
 			}
 			var block *timing.BlockArrival
@@ -626,23 +785,25 @@ func (lm *lily) evaluateDelay(v logic.NodeID, matches []*match.Match) error {
 				feasible = false
 				break
 			}
-			load := lm.inputLoad(g, vi, m)
-			arrOf[vi] = block.Output(load)
+			load := lm.inputLoad(g, i, m)
+			arrBuf = append(arrBuf, block.Output(load))
 		}
+		lm.arrBuf = arrBuf
 		if !feasible {
 			continue
 		}
 		for pin, vi := range m.Inputs {
-			inArr[pin] = arrOf[vi]
+			inArr[pin] = arrBuf[g.inputIndex(vi)]
 		}
 		// Steps 2–4: block arrivals at gate(m), output load from the base
 		// fanouts, output arrival.
-		block := timing.NewBlockArrival(m.Gate, inArr)
+		lm.evalBlock.Fill(m.Gate, inArr)
 		outLoad := lm.outputLoad(v, g)
-		out := block.Output(outLoad)
+		out := lm.evalBlock.Output(outLoad)
 		if out.Max() < bestArr.Max()-1e-12 ||
 			(math.Abs(out.Max()-bestArr.Max()) <= 1e-12 && area < bestArea) {
-			bestArr, bestArea, bm, bmPos, bmBlock = out, area, m, g.gatePos, block
+			bestArr, bestArea, bm, bmPos = out, area, m, g.gatePos
+			lm.evalBlock, lm.bestBlock = lm.bestBlock, lm.evalBlock
 		}
 	}
 	if bm == nil {
@@ -651,20 +812,30 @@ func (lm *lily) evaluateDelay(v logic.NodeID, matches []*match.Match) error {
 	lm.best[v] = bm
 	lm.areaSum[v] = bestArea
 	lm.mapPos[v] = bmPos
-	lm.blockA[v] = bmBlock
+	lm.blockA[v] = lm.bestBlock.Clone()
 	return nil
 }
 
-// inputLoad computes the load seen at input vi's driver when match m is
-// present (§4.4 step 1): pin capacitances of the surviving true fanouts
-// plus gate(m)'s pins bound to vi, plus the positional wiring capacitance.
-func (lm *lily) inputLoad(g *matchGeometry, vi logic.NodeID, m *match.Match) float64 {
-	caps := float64(g.boundPins[vi]) * m.Gate.InputCap
-	for _, tf := range g.faninFans[vi] {
+// inputLoad computes the load seen at distinct input i's driver when match
+// m is present (§4.4 step 1): pin capacitances of the surviving true
+// fanouts plus gate(m)'s pins bound to the input, plus the positional
+// wiring capacitance. Capacitances accumulate in the same order as the
+// original formulation so the float sums are bit-identical.
+func (lm *lily) inputLoad(g *matchGeometry, i int, m *match.Match) float64 {
+	caps := float64(g.boundPins[i]) * m.Gate.InputCap
+	for _, tf := range g.fans(i) {
 		caps += tf.cap
 	}
-	pts := append(append([]geom.Point(nil), g.faninPts[vi]...), g.gatePos)
-	x, y := wire.LengthXY(lm.opt.WireModel, pts)
+	var x, y float64
+	if lm.opt.WireModel == wire.ModelHPWLSteiner {
+		npins := g.ptsOff[i+1] - g.ptsOff[i] + 1
+		x, y = wire.HPWLLengthXY(g.faninRect[i].Extend(g.gatePos), npins)
+	} else {
+		pts := append(lm.ptsWork[:0], g.pts(i)...)
+		pts = append(pts, g.gatePos)
+		lm.ptsWork = pts
+		x, y = lm.ws.LengthXY(lm.opt.WireModel, pts)
+	}
 	return caps + lm.lib.WireCapH*x + lm.lib.WireCapV*y
 }
 
@@ -680,14 +851,22 @@ func (lm *lily) outputLoad(v logic.NodeID, g *matchGeometry) float64 {
 
 func (lm *lily) estimatedOutputLoad(g *matchGeometry) float64 {
 	caps := 0.0
-	pts := []geom.Point{g.gatePos}
-	for _, p := range g.fanoutPts {
-		pts = append(pts, p)
-	}
 	for range g.fanoutPts {
 		caps += lm.lib.Nand2.InputCap
 	}
-	x, y := wire.LengthXY(lm.opt.WireModel, pts)
+	var x, y float64
+	if lm.opt.WireModel == wire.ModelHPWLSteiner {
+		r := geom.RectAround(g.gatePos)
+		for _, p := range g.fanoutPts {
+			r = r.Extend(p)
+		}
+		x, y = wire.HPWLLengthXY(r, 1+len(g.fanoutPts))
+	} else {
+		pts := append(lm.ptsWork[:0], g.gatePos)
+		pts = append(pts, g.fanoutPts...)
+		lm.ptsWork = pts
+		x, y = lm.ws.LengthXY(lm.opt.WireModel, pts)
+	}
 	return caps + lm.lib.WireCapH*x + lm.lib.WireCapV*y
 }
 

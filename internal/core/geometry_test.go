@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -9,7 +10,6 @@ import (
 	"lily/internal/logic"
 	"lily/internal/match"
 	"lily/internal/place"
-	"lily/internal/timing"
 	"lily/internal/wire"
 )
 
@@ -40,25 +40,7 @@ func fixture(t *testing.T) (*logic.Network, *lily) {
 		},
 		Die: geom.Enclosing([]geom.Point{{X: 0, Y: 0}, {X: 20, Y: 10}}),
 	}
-	lib := library.Big()
-	n := len(sub.Nodes)
-	lm := &lily{
-		sub: sub, lib: lib, opt: DefaultOptions(ModeArea), pl: pl,
-		mt:            match.NewMatcher(sub, lib),
-		state:         make([]State, n),
-		best:          make([]*match.Match, n),
-		cost:          make([]float64, n),
-		wCost:         make([]float64, n),
-		areaSum:       make([]float64, n),
-		mapPos:        make([]geom.Point, n),
-		blockA:        make([]*timing.BlockArrival, n),
-		committed:     make([]*match.Match, n),
-		hawkPos:       make([]geom.Point, n),
-		hawkBlock:     make([]*timing.BlockArrival, n),
-		hawkConsumers: make(map[logic.NodeID][]hawkRef),
-		matchCache:    make(map[logic.NodeID][]*match.Match),
-		everDove:      make([]bool, n),
-	}
+	lm := newLily(context.Background(), sub, library.Big(), pl, DefaultOptions(ModeArea), nil)
 	return sub, lm
 }
 
@@ -90,12 +72,20 @@ func TestFaninRectanglesConstruction(t *testing.T) {
 	bID := sub.NodeByName("b").ID
 	// a fans out only to x, which the match covers: its fanin point set is
 	// just a's own position.
-	if pts := g.faninPts[aID]; len(pts) != 1 || pts[0] != (geom.Point{X: 0, Y: 0}) {
+	ai := g.inputIndex(aID)
+	if ai < 0 {
+		t.Fatalf("a not a distinct input: %v", g.distinctIn)
+	}
+	if pts := g.pts(ai); len(pts) != 1 || pts[0] != (geom.Point{X: 0, Y: 0}) {
 		t.Errorf("fanin pts of a = %v", pts)
 	}
 	// b also feeds y (an egg outside the match): its set includes y's
 	// placePosition.
-	pts := g.faninPts[bID]
+	bi := g.inputIndex(bID)
+	if bi < 0 {
+		t.Fatalf("b not a distinct input: %v", g.distinctIn)
+	}
+	pts := g.pts(bi)
 	if len(pts) != 2 {
 		t.Fatalf("fanin pts of b = %v", pts)
 	}
@@ -107,6 +97,12 @@ func TestFaninRectanglesConstruction(t *testing.T) {
 	}
 	if !hasY {
 		t.Errorf("b's rectangle misses true fanout y: %v", pts)
+	}
+	// The cached fanin rectangle matches the enclosing of the pin set.
+	for i := range g.distinctIn {
+		if got, want := g.faninRect[i], geom.Enclosing(g.pts(i)); got != want {
+			t.Errorf("faninRect[%d] = %v, want %v", i, got, want)
+		}
 	}
 	// Fanout rectangle: x drives only the PO pad.
 	if len(g.fanoutPts) != 1 || g.fanoutPts[0] != (geom.Point{X: 20, Y: 5}) {
@@ -122,21 +118,39 @@ func TestWireIncrementAccounting(t *testing.T) {
 	lm.state[x] = StateNestling
 	m := nand2MatchAt(t, lm, x)
 	g := lm.geometry(x, m)
-	aID := sub.NodeByName("a").ID
-	inc := lm.wireIncrement(g, aID)
+	ai := g.inputIndex(sub.NodeByName("a").ID)
+	inc := lm.wireIncrement(g, ai)
 	// Net: a(0,0) + gate position; single sink -> full net length.
-	pts := append(append([]geom.Point(nil), g.faninPts[aID]...), g.gatePos)
+	pts := append(append([]geom.Point(nil), g.pts(ai)...), g.gatePos)
 	want := wire.NetLength(lm.opt.WireModel, pts)
 	if math.Abs(inc-want) > 1e-9 {
 		t.Errorf("increment = %v, want %v", inc, want)
 	}
 	// For b there are two sinks (the match and y): charged half.
-	bID := sub.NodeByName("b").ID
-	incB := lm.wireIncrement(g, bID)
-	ptsB := append(append([]geom.Point(nil), g.faninPts[bID]...), g.gatePos)
+	bi := g.inputIndex(sub.NodeByName("b").ID)
+	incB := lm.wireIncrement(g, bi)
+	ptsB := append(append([]geom.Point(nil), g.pts(bi)...), g.gatePos)
 	wantB := wire.NetLength(lm.opt.WireModel, ptsB) / 2
 	if math.Abs(incB-wantB) > 1e-9 {
 		t.Errorf("increment(b) = %v, want %v", incB, wantB)
+	}
+}
+
+// The rectangle-incremental HPWL fast path and the explicit spanning-tree
+// path must agree with the package-level estimators for the same pin sets.
+func TestWireIncrementSpanningTreeModel(t *testing.T) {
+	sub, lm := fixture(t)
+	lm.opt.WireModel = wire.ModelSpanningTree
+	x := sub.NodeByName("x").ID
+	lm.state[x] = StateNestling
+	m := nand2MatchAt(t, lm, x)
+	g := lm.geometry(x, m)
+	for i := range g.distinctIn {
+		pts := append(append([]geom.Point(nil), g.pts(i)...), g.gatePos)
+		want := wire.NetLength(wire.ModelSpanningTree, pts) / float64(len(g.fans(i))+1)
+		if got := lm.wireIncrement(g, i); math.Abs(got-want) > 1e-12 {
+			t.Errorf("rmst increment(%d) = %v, want %v", i, got, want)
+		}
 	}
 }
 
@@ -164,14 +178,16 @@ func TestUpdateRulePositions(t *testing.T) {
 	}
 }
 
-// trueFanouts must switch from placePositions to mapPositions when a
-// consumer becomes a hawk (§3.3).
+// cachedFans must switch from placePositions to mapPositions when a
+// consumer becomes a hawk (§3.3). The fixture mutates lifecycle state by
+// hand, so it advances the fan epoch explicitly — the invalidation that
+// setState performs for real runs.
 func TestTrueFanoutsUseHawkPositions(t *testing.T) {
 	sub, lm := fixture(t)
 	bID := sub.NodeByName("b").ID
 	yID := sub.NodeByName("y").ID
 	// Before commitment: y is an egg at its placePosition.
-	fans := lm.trueFanouts(bID, nil)
+	fans := lm.cachedFans(bID)
 	if len(fans) != 2 { // x and y
 		t.Fatalf("true fanouts of b = %d", len(fans))
 	}
@@ -186,7 +202,8 @@ func TestTrueFanoutsUseHawkPositions(t *testing.T) {
 	lm.committed[yID] = invMatch
 	lm.hawkPos[yID] = geom.Point{X: 3, Y: 3}
 	lm.hawkConsumers[bID] = append(lm.hawkConsumers[bID], hawkRef{hawk: yID, gate: invMatch.Gate})
-	fans = lm.trueFanouts(bID, nil)
+	lm.fanEpoch++ // manual state mutation: invalidate like setState would
+	fans = lm.cachedFans(bID)
 	foundHawk := false
 	for _, tf := range fans {
 		if tf.hawk {
@@ -201,5 +218,47 @@ func TestTrueFanoutsUseHawkPositions(t *testing.T) {
 	}
 	if !foundHawk {
 		t.Error("hawk consumer not reported as true fanout")
+	}
+}
+
+// The fan cache returns the memoized list while the epoch is unchanged and
+// rebuilds after every transition that setState invalidates; egg→nestling
+// keeps the cache warm.
+func TestFanCacheEpochInvalidation(t *testing.T) {
+	sub, lm := fixture(t)
+	bID := sub.NodeByName("b").ID
+	xID := sub.NodeByName("x").ID
+	yID := sub.NodeByName("y").ID
+
+	first := lm.cachedFans(bID)
+	if len(first) != 2 {
+		t.Fatalf("fanouts of b = %d, want 2", len(first))
+	}
+	epoch := lm.fanEpoch
+	// Egg→nestling must not advance the epoch: both states are live
+	// consumers at unchanged positions.
+	if err := lm.setState(xID, StateNestling); err != nil {
+		t.Fatal(err)
+	}
+	if lm.fanEpoch != epoch {
+		t.Fatalf("egg→nestling advanced the fan epoch %d -> %d", epoch, lm.fanEpoch)
+	}
+	again := lm.cachedFans(bID)
+	if &again[0] != &first[0] || len(again) != len(first) {
+		t.Error("cache rebuilt despite unchanged epoch")
+	}
+	// Nestling→dove must invalidate: x stops being a consumer of b.
+	if err := lm.setState(yID, StateNestling); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.setState(xID, StateDove); err != nil {
+		t.Fatal(err)
+	}
+	if lm.fanEpoch == epoch {
+		t.Fatal("nestling→dove did not advance the fan epoch")
+	}
+	fans := lm.cachedFans(bID)
+	if len(fans) != 1 || fans[0].node != yID {
+		t.Errorf("after x→dove, fanouts of b = %v, want just y", fans)
 	}
 }

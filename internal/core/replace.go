@@ -89,6 +89,9 @@ func (lm *lily) replaceGlobal() error {
 		}
 		lm.pl.Pos[v] = pos
 	}
+	// placePositions and mapPositions moved: cached true-fanout lists are
+	// stale, advance the fan epoch.
+	lm.fanEpoch++
 	return nil
 }
 

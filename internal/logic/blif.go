@@ -197,6 +197,12 @@ func buildNamesNode(n *Network, signals, cubeLines []string) error {
 	}
 	if !onSet {
 		// Off-set cover: the listed cubes describe when the output is 0.
+		// Complementing enumerates the truth table, so bound the width —
+		// otherwise a hostile model panics the parser (found by fuzzing).
+		if len(ins) > MaxEvalInputs {
+			return fmt.Errorf("blif: off-set cover for %q has %d inputs; complementing supports at most %d",
+				out, len(ins), MaxEvalInputs)
+		}
 		cover = Complement(cover)
 	}
 	if len(ins) == 0 && len(cubeLines) == 0 {

@@ -5,8 +5,10 @@
 package match
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
+	"strconv"
 
 	"lily/internal/decomp"
 	"lily/internal/library"
@@ -78,25 +80,39 @@ func (m *Match) String() string {
 	return fmt.Sprintf("%s@%d inputs=%v merged=%v", m.Gate.Name, m.Root(), m.Inputs, m.Merged)
 }
 
-// Matcher enumerates matches over one subject graph.
+// Matcher enumerates matches over one subject graph. Matching results are
+// memoized per node: the subject graph is immutable for the lifetime of a
+// cover run (only node lifecycle state changes, which matching never
+// reads), so AtNode computes each node's match list exactly once.
 type Matcher struct {
 	net *logic.Network
 	lib *library.Library
 	cls *Classifier
 
 	// scratch state for the backtracking search
-	bind     []logic.NodeID
-	merged   []logic.NodeID
-	inMerged map[logic.NodeID]bool
+	bind   []logic.NodeID
+	merged []logic.NodeID
+	// mergedStamp implements an O(1)-clear membership set: node v is in
+	// the current pattern interior iff mergedStamp[v] == stamp.
+	mergedStamp []uint32
+	stamp       uint32
+
+	// memo holds the per-node AtNode results; memoOK marks computed
+	// entries (a nil slice is a valid result for unmatchable nodes).
+	memo   [][]*Match
+	memoOK []bool
 }
 
 // NewMatcher builds a matcher for the subject graph.
 func NewMatcher(net *logic.Network, lib *library.Library) *Matcher {
+	n := len(net.Nodes)
 	return &Matcher{
-		net:      net,
-		lib:      lib,
-		cls:      Classify(net),
-		inMerged: make(map[logic.NodeID]bool),
+		net:         net,
+		lib:         lib,
+		cls:         Classify(net),
+		mergedStamp: make([]uint32, n),
+		memo:        make([][]*Match, n),
+		memoOK:      make([]bool, n),
 	}
 }
 
@@ -105,43 +121,58 @@ func (mt *Matcher) Classifier() *Classifier { return mt.cls }
 
 // AtNode returns all distinct matches rooted at subject node v, across every
 // gate and pattern of the library. Matches are deduplicated by (gate,
-// bound inputs) and returned in a deterministic order.
+// bound inputs) and returned in a deterministic order. Results are memoized;
+// callers must treat the returned slice as read-only.
 func (mt *Matcher) AtNode(v logic.NodeID) []*Match {
+	if mt.memoOK[v] {
+		return mt.memo[v]
+	}
+	out := mt.atNode(v)
+	mt.memo[v] = out
+	mt.memoOK[v] = true
+	return out
+}
+
+func (mt *Matcher) atNode(v logic.NodeID) []*Match {
 	if t := mt.cls.Type(v); t != TypeNand2 && t != TypeInv {
 		return nil
 	}
 	var out []*Match
-	seen := make(map[string]bool)
 	for _, g := range mt.lib.Gates {
 		for _, p := range g.Patterns {
-			mt.bind = make([]logic.NodeID, g.NumInputs)
+			if cap(mt.bind) < g.NumInputs {
+				mt.bind = make([]logic.NodeID, g.NumInputs)
+			}
+			mt.bind = mt.bind[:g.NumInputs]
 			for i := range mt.bind {
 				mt.bind[i] = logic.InvalidNode
 			}
 			mt.merged = mt.merged[:0]
-			for k := range mt.inMerged {
-				delete(mt.inMerged, k)
-			}
+			mt.clearMerged()
 			mt.match(v, p.Root, func() {
 				// A gate input must be a signal that survives outside the
 				// match: reject bindings where a pin lands on a node the
 				// pattern interior consumed.
 				for _, b := range mt.bind {
-					if mt.inMerged[b] {
+					if mt.inMerged(b) {
 						return
 					}
 				}
-				m := &Match{
+				// Deduplicate by (gate, bound inputs) with a linear scan —
+				// match lists are small, and the structural comparison
+				// replaces the old fmt-formatted string key without
+				// allocating. First occurrence wins, as before.
+				for _, prev := range out {
+					if prev.Gate == g && equalIDs(prev.Inputs, mt.bind) {
+						return
+					}
+				}
+				out = append(out, &Match{
 					Gate:    g,
 					Pattern: p,
 					Inputs:  append([]logic.NodeID(nil), mt.bind...),
 					Merged:  append([]logic.NodeID(nil), mt.merged...),
-				}
-				key := matchKey(m)
-				if !seen[key] {
-					seen[key] = true
-					out = append(out, m)
-				}
+				})
 			})
 		}
 	}
@@ -149,13 +180,47 @@ func (mt *Matcher) AtNode(v logic.NodeID) []*Match {
 		if out[i].Gate.Name != out[j].Gate.Name {
 			return out[i].Gate.Name < out[j].Gate.Name
 		}
-		return matchKey(out[i]) < matchKey(out[j])
+		return decimalLess(out[i].Inputs, out[j].Inputs)
 	})
 	return out
 }
 
-func matchKey(m *Match) string {
-	return fmt.Sprintf("%s:%v", m.Gate.Name, m.Inputs)
+func equalIDs(a, b []logic.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// decimalLess orders two equal-length input bindings exactly as the
+// historical fmt-rendered match key ("gate:[12 34]") did: element-wise,
+// each ID compared as its decimal string followed by the separator the
+// rendering would emit (' ' between elements, ']' after the last). The
+// decimal-string order differs from numeric order (e.g. "10" < "9"), and
+// the DP breaks cost ties by match-list position, so preserving it keeps
+// mapped output byte-identical to the string-keyed implementation.
+func decimalLess(a, b []logic.NodeID) bool {
+	for i := range a {
+		if a[i] == b[i] {
+			continue
+		}
+		var abuf, bbuf [24]byte
+		as := strconv.AppendInt(abuf[:0], int64(a[i]), 10)
+		bs := strconv.AppendInt(bbuf[:0], int64(b[i]), 10)
+		sep := byte(' ')
+		if i == len(a)-1 {
+			sep = ']'
+		}
+		as = append(as, sep)
+		bs = append(bs, sep)
+		return bytes.Compare(as, bs) < 0
+	}
+	return false
 }
 
 // match attempts to embed pattern node p at subject node v, invoking cont
@@ -174,14 +239,14 @@ func (mt *Matcher) match(v logic.NodeID, p *library.PatternNode, cont func()) {
 			cont()
 		}
 	case library.OpInv:
-		if mt.cls.Type(v) != TypeInv || mt.inMerged[v] {
+		if mt.cls.Type(v) != TypeInv || mt.inMerged(v) {
 			return
 		}
 		mt.pushMerged(v)
 		mt.match(mt.net.Nodes[v].Fanins[0], p.Kids[0], cont)
 		mt.popMerged(v)
 	case library.OpNand2:
-		if mt.cls.Type(v) != TypeNand2 || mt.inMerged[v] {
+		if mt.cls.Type(v) != TypeNand2 || mt.inMerged(v) {
 			return
 		}
 		mt.pushMerged(v)
@@ -199,14 +264,32 @@ func (mt *Matcher) match(v logic.NodeID, p *library.PatternNode, cont func()) {
 	}
 }
 
+// inMerged reports whether v is inside the pattern interior being built.
+// Leaf bindings may be logic.InvalidNode (-1) before a pin is bound; the
+// stamp array is indexed by node ID, so guard the sentinel explicitly.
+func (mt *Matcher) inMerged(v logic.NodeID) bool {
+	return v >= 0 && mt.mergedStamp[v] == mt.stamp
+}
+
+// clearMerged empties the interior set in O(1) by advancing the stamp.
+func (mt *Matcher) clearMerged() {
+	mt.stamp++
+	if mt.stamp == 0 { // wrapped: reset the backing array once per 2^32 clears
+		for i := range mt.mergedStamp {
+			mt.mergedStamp[i] = 0
+		}
+		mt.stamp = 1
+	}
+}
+
 func (mt *Matcher) pushMerged(v logic.NodeID) {
 	mt.merged = append(mt.merged, v)
-	mt.inMerged[v] = true
+	mt.mergedStamp[v] = mt.stamp
 }
 
 func (mt *Matcher) popMerged(v logic.NodeID) {
 	mt.merged = mt.merged[:len(mt.merged)-1]
-	delete(mt.inMerged, v)
+	mt.mergedStamp[v] = mt.stamp - 1
 }
 
 // InternalFanoutFree reports whether every non-root merged node of the

@@ -1,6 +1,7 @@
 package match
 
 import (
+	"fmt"
 	"testing"
 
 	"lily/internal/bench"
@@ -169,11 +170,61 @@ func TestMatchesDeduplicated(t *testing.T) {
 	matches := mt.AtNode(sub.POs[0])
 	seen := map[string]bool{}
 	for _, m := range matches {
-		k := matchKey(m)
+		k := fmt.Sprintf("%s:%v", m.Gate.Name, m.Inputs)
 		if seen[k] {
 			t.Errorf("duplicate match %s", k)
 		}
 		seen[k] = true
+	}
+}
+
+// TestAtNodeMemoized asserts that repeated AtNode calls return the memoized
+// result (same backing slice) — the contract the cover DP relies on to make
+// matching a once-per-node cost.
+func TestAtNodeMemoized(t *testing.T) {
+	sub := buildSubject(t, func(n *logic.Network) {
+		a := n.AddPI("a")
+		b := n.AddPI("b")
+		x := n.AddLogic("x", []logic.NodeID{a.ID, b.ID}, logic.NandSOP(2))
+		n.MarkPO(x.ID, "x")
+	})
+	mt := NewMatcher(sub, library.Big())
+	first := mt.AtNode(sub.POs[0])
+	second := mt.AtNode(sub.POs[0])
+	if len(first) == 0 || len(first) != len(second) {
+		t.Fatalf("memoized call differs: %d vs %d matches", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("match %d not memoized: %p vs %p", i, first[i], second[i])
+		}
+	}
+}
+
+// TestDecimalLessMatchesStringOrder pins the sort order of AtNode against
+// the historical fmt-rendered key ("gate:[12 34]"): decimalLess must order
+// input bindings exactly as lexicographic comparison of their %v rendering
+// would, because the DP breaks cost ties by match-list position.
+func TestDecimalLessMatchesStringOrder(t *testing.T) {
+	cases := [][2][]logic.NodeID{
+		{{9}, {10}},          // "9]" > "10]" in string order
+		{{1, 9}, {1, 10}},    // last-element prefix: ']' vs digit
+		{{9, 1}, {10, 1}},    // mid-element prefix: ' ' vs digit
+		{{2}, {10}},          // "1" < "2" stringwise even though 10 > 2
+		{{12, 34}, {12, 34}}, // equal
+		{{3, 4}, {3, 5}},
+		{{-1, 4}, {0, 4}}, // unbound sentinel renders as "-1"
+	}
+	for _, c := range cases {
+		a, b := c[0], c[1]
+		wantAB := fmt.Sprintf("%v", a) < fmt.Sprintf("%v", b)
+		wantBA := fmt.Sprintf("%v", b) < fmt.Sprintf("%v", a)
+		if got := decimalLess(a, b); got != wantAB {
+			t.Errorf("decimalLess(%v, %v) = %v, want %v", a, b, got, wantAB)
+		}
+		if got := decimalLess(b, a); got != wantBA {
+			t.Errorf("decimalLess(%v, %v) = %v, want %v", b, a, got, wantBA)
+		}
 	}
 }
 

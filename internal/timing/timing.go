@@ -256,11 +256,24 @@ type BlockArrival struct {
 
 // NewBlockArrival precomputes block arrival times for a gate instance.
 func NewBlockArrival(g *library.Gate, in []Arrival) *BlockArrival {
+	b := new(BlockArrival)
+	b.Fill(g, in)
+	return b
+}
+
+// Fill populates b for a gate instance, reusing its slices — the zero-alloc
+// equivalent of NewBlockArrival for the delay-mode mapper's per-match inner
+// loop. The computed values are identical.
+func (b *BlockArrival) Fill(g *library.Gate, in []Arrival) {
 	n := len(in)
-	b := &BlockArrival{
-		RiseB: make([]float64, n), FallB: make([]float64, n),
-		RiseR: make([]float64, n), FallR: make([]float64, n),
+	if cap(b.RiseB) < n {
+		b.RiseB = make([]float64, n)
+		b.FallB = make([]float64, n)
+		b.RiseR = make([]float64, n)
+		b.FallR = make([]float64, n)
 	}
+	b.RiseB, b.FallB = b.RiseB[:n], b.FallB[:n]
+	b.RiseR, b.FallR = b.RiseR[:n], b.FallR[:n]
 	for pin := 0; pin < n; pin++ {
 		pt := g.Timing[pin]
 		u := g.Unate[pin]
@@ -279,7 +292,17 @@ func NewBlockArrival(g *library.Gate, in []Arrival) *BlockArrival {
 		b.RiseR[pin] = pt.ResistRise
 		b.FallR[pin] = pt.ResistFall
 	}
-	return b
+}
+
+// Clone returns a deep copy of b, for retaining a winning candidate's
+// block arrivals beyond a scratch buffer's lifetime.
+func (b *BlockArrival) Clone() *BlockArrival {
+	return &BlockArrival{
+		RiseB: append([]float64(nil), b.RiseB...),
+		FallB: append([]float64(nil), b.FallB...),
+		RiseR: append([]float64(nil), b.RiseR...),
+		FallR: append([]float64(nil), b.FallR...),
+	}
 }
 
 // Output computes the output arrival for a given load from the block

@@ -1,0 +1,177 @@
+package wire
+
+import (
+	"math"
+	"sync"
+
+	"lily/internal/geom"
+)
+
+// Scratch holds reusable work buffers for the net-length estimators, so
+// the mapper's inner loop — which evaluates wire cost for every candidate
+// match of every node (paper §3.4) — performs no per-call allocations.
+// A Scratch is not safe for concurrent use; each mapping run owns one
+// (or borrows one from the package pool via Get/Put).
+//
+// The scratch-backed methods compute bit-identical results to the
+// package-level functions: they run the same algorithms over recycled
+// buffers.
+type Scratch struct {
+	dist   []float64
+	from   []int
+	inTree []bool
+	pts    []geom.Point
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// Get borrows a Scratch from the package pool.
+func Get() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// Put returns a Scratch to the package pool.
+func Put(s *Scratch) { scratchPool.Put(s) }
+
+// grow readies the Prim buffers for an n-pin net.
+func (s *Scratch) grow(n int) {
+	if cap(s.dist) < n {
+		s.dist = make([]float64, n)
+		s.from = make([]int, n)
+		s.inTree = make([]bool, n)
+	}
+	s.dist = s.dist[:n]
+	s.from = s.from[:n]
+	s.inTree = s.inTree[:n]
+}
+
+// NetLength is the zero-alloc equivalent of the package-level NetLength.
+func (s *Scratch) NetLength(model Model, pins []geom.Point) float64 {
+	if len(pins) < 2 {
+		return 0
+	}
+	if model == ModelSpanningTree {
+		return s.RMST(pins)
+	}
+	return HPWL(pins) * ChungHwangRatio(len(pins))
+}
+
+// LengthXY is the zero-alloc equivalent of the package-level LengthXY.
+func (s *Scratch) LengthXY(model Model, pins []geom.Point) (x, y float64) {
+	if len(pins) < 2 {
+		return 0, 0
+	}
+	if model == ModelSpanningTree {
+		return s.RMSTXY(pins)
+	}
+	r := geom.Enclosing(pins)
+	k := ChungHwangRatio(len(pins))
+	return r.Width() * k, r.Height() * k
+}
+
+// RMST runs Prim's rectilinear-MST over the scratch buffers (same
+// algorithm and visit order as the package-level RMST, so results are
+// bit-identical).
+func (s *Scratch) RMST(pins []geom.Point) float64 {
+	n := len(pins)
+	if n < 2 {
+		return 0
+	}
+	const inf = math.MaxFloat64
+	s.grow(n)
+	dist, inTree := s.dist, s.inTree
+	for i := range dist {
+		dist[i] = inf
+		inTree[i] = false
+	}
+	dist[0] = 0
+	total := 0.0
+	for k := 0; k < n; k++ {
+		best, bestD := -1, inf
+		for i := 0; i < n; i++ {
+			if !inTree[i] && dist[i] < bestD {
+				best, bestD = i, dist[i]
+			}
+		}
+		inTree[best] = true
+		total += bestD
+		for i := 0; i < n; i++ {
+			if !inTree[i] {
+				if d := pins[best].Manhattan(pins[i]); d < dist[i] {
+					dist[i] = d
+				}
+			}
+		}
+	}
+	return total
+}
+
+// RMSTXY is the zero-alloc equivalent of the per-axis MST decomposition
+// used by the wiring-capacitance model (paper §4.2).
+func (s *Scratch) RMSTXY(pins []geom.Point) (xLen, yLen float64) {
+	n := len(pins)
+	if n < 2 {
+		return 0, 0
+	}
+	const inf = math.MaxFloat64
+	s.grow(n)
+	dist, from, inTree := s.dist, s.from, s.inTree
+	for i := range dist {
+		dist[i] = inf
+		from[i] = -1
+		inTree[i] = false
+	}
+	dist[0] = 0
+	for k := 0; k < n; k++ {
+		best, bestD := -1, inf
+		for i := 0; i < n; i++ {
+			if !inTree[i] && dist[i] < bestD {
+				best, bestD = i, dist[i]
+			}
+		}
+		inTree[best] = true
+		if from[best] >= 0 {
+			xLen += math.Abs(pins[best].X - pins[from[best]].X)
+			yLen += math.Abs(pins[best].Y - pins[from[best]].Y)
+		}
+		for i := 0; i < n; i++ {
+			if !inTree[i] {
+				if d := pins[best].Manhattan(pins[i]); d < dist[i] {
+					dist[i] = d
+					from[i] = best
+				}
+			}
+		}
+	}
+	return xLen, yLen
+}
+
+// HPWLNetLength returns the half-perimeter × Chung–Hwang estimate for a
+// net whose enclosing rectangle and pin count are already known — the
+// rectangle-incremental fast path of the cover DP, which extends a cached
+// fanin rectangle by the candidate gate position instead of re-scanning
+// the pin list. Equivalent to NetLength(ModelHPWLSteiner, pins) when
+// r == geom.Enclosing(pins) and npins == len(pins).
+func HPWLNetLength(r geom.Rect, npins int) float64 {
+	if npins < 2 {
+		return 0
+	}
+	return r.HalfPerimeter() * ChungHwangRatio(npins)
+}
+
+// HPWLLengthXY is the rectangle-incremental fast path of LengthXY for the
+// HPWL-Steiner model.
+func HPWLLengthXY(r geom.Rect, npins int) (x, y float64) {
+	if npins < 2 {
+		return 0, 0
+	}
+	k := ChungHwangRatio(npins)
+	return r.Width() * k, r.Height() * k
+}
+
+// Pts returns a reusable point buffer of length 0 with at least the given
+// capacity, for callers assembling pin lists without allocating.
+func (s *Scratch) Pts(capacity int) []geom.Point {
+	if cap(s.pts) < capacity {
+		s.pts = make([]geom.Point, 0, capacity)
+	}
+	return s.pts[:0]
+}

@@ -71,37 +71,13 @@ func NetLength(model Model, pins []geom.Point) float64 {
 }
 
 // RMST returns the length of a rectilinear minimum spanning tree over the
-// pins (Prim's algorithm, O(n²) — nets are small).
+// pins (Prim's algorithm, O(n²) — nets are small). The work buffers come
+// from the package pool; hot loops that want to skip even the pool
+// round-trip should hold a Scratch and call its RMST method directly.
 func RMST(pins []geom.Point) float64 {
-	n := len(pins)
-	if n < 2 {
-		return 0
-	}
-	const inf = math.MaxFloat64
-	dist := make([]float64, n)
-	inTree := make([]bool, n)
-	for i := range dist {
-		dist[i] = inf
-	}
-	dist[0] = 0
-	total := 0.0
-	for k := 0; k < n; k++ {
-		best, bestD := -1, inf
-		for i := 0; i < n; i++ {
-			if !inTree[i] && dist[i] < bestD {
-				best, bestD = i, dist[i]
-			}
-		}
-		inTree[best] = true
-		total += bestD
-		for i := 0; i < n; i++ {
-			if !inTree[i] {
-				if d := pins[best].Manhattan(pins[i]); d < dist[i] {
-					dist[i] = d
-				}
-			}
-		}
-	}
+	s := Get()
+	total := s.RMST(pins)
+	Put(s)
 	return total
 }
 
@@ -122,42 +98,12 @@ func LengthXY(model Model, pins []geom.Point) (x, y float64) {
 	return r.Width() * k, r.Height() * k
 }
 
-// rmstXY computes the per-axis edge lengths of a rectilinear MST.
+// rmstXY computes the per-axis edge lengths of a rectilinear MST over
+// pooled buffers.
 func rmstXY(pins []geom.Point) (xLen, yLen float64) {
-	n := len(pins)
-	if n < 2 {
-		return 0, 0
-	}
-	const inf = math.MaxFloat64
-	dist := make([]float64, n)
-	from := make([]int, n)
-	inTree := make([]bool, n)
-	for i := range dist {
-		dist[i] = inf
-		from[i] = -1
-	}
-	dist[0] = 0
-	for k := 0; k < n; k++ {
-		best, bestD := -1, inf
-		for i := 0; i < n; i++ {
-			if !inTree[i] && dist[i] < bestD {
-				best, bestD = i, dist[i]
-			}
-		}
-		inTree[best] = true
-		if from[best] >= 0 {
-			xLen += math.Abs(pins[best].X - pins[from[best]].X)
-			yLen += math.Abs(pins[best].Y - pins[from[best]].Y)
-		}
-		for i := 0; i < n; i++ {
-			if !inTree[i] {
-				if d := pins[best].Manhattan(pins[i]); d < dist[i] {
-					dist[i] = d
-					from[i] = best
-				}
-			}
-		}
-	}
+	s := Get()
+	xLen, yLen = s.RMSTXY(pins)
+	Put(s)
 	return xLen, yLen
 }
 
@@ -172,8 +118,13 @@ func RSMT(pins []geom.Point) float64 {
 	if n > 16 {
 		return RMST(pins)
 	}
-	pts := append([]geom.Point(nil), pins...)
-	best := RMST(pts)
+	// Room for the original pins, up to n-2 Steiner points, and one probe
+	// point, so the candidate loop below never reallocates.
+	pts := make([]geom.Point, n, 2*n)
+	copy(pts, pins)
+	s := Get()
+	defer Put(s)
+	best := s.RMST(pts)
 	// Iteratively add the Hanan point that shrinks the MST the most.
 	for iter := 0; iter < n-2; iter++ {
 		bestGain := 1e-9
@@ -181,7 +132,7 @@ func RSMT(pins []geom.Point) float64 {
 		for _, px := range pins {
 			for _, py := range pins {
 				cand := geom.Point{X: px.X, Y: py.Y}
-				l := RMST(append(pts, cand))
+				l := s.RMST(append(pts, cand))
 				if gain := best - l; gain > bestGain {
 					bestGain = gain
 					bestPt = cand
