@@ -5,7 +5,7 @@
 GO ?= go
 BIN ?= bin
 
-.PHONY: all build test lint race soak smoke bench perf perfcheck cover fuzz fmt clean
+.PHONY: all build test lint race soak smoke cluster-smoke bench perf perfcheck cover fuzz fmt clean
 
 all: build test lint
 
@@ -15,10 +15,11 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-check the concurrency-sensitive packages (engine, server, the
-# top-level flow API) without paying for -race on the whole suite.
+# Race-check the concurrency-sensitive packages (engine, cluster,
+# server, the top-level flow API) without paying for -race on the whole
+# suite.
 race:
-	$(GO) test -race ./internal/engine/ ./internal/server/ .
+	$(GO) test -race ./internal/engine/ ./internal/cluster/ ./internal/server/ .
 
 # Job-lifecycle soak: registry-bound + eviction tests under -race,
 # repeated to surface scheduling-order flakes (see DESIGN.md §8).
@@ -30,6 +31,17 @@ soak:
 # /metrics exposition and the job's phase trace (DESIGN.md §10).
 smoke:
 	./scripts/obs-smoke.sh
+
+# Cluster smoke test (DESIGN.md §12): three in-process nodes serve the
+# benchmark suite through the batch API; every mapped-BLIF SHA-256 must
+# match testdata/golden.json no matter which node or cache tier served
+# it, and a killed owner must degrade to local compute with the spill
+# visible in the survivor's counters. The cluster unit suites run under
+# -race first.
+cluster-smoke:
+	$(GO) test -race ./internal/cluster/
+	$(GO) test -race -run 'TestThreeNode|TestCachePeek|TestClusterJob|TestBatch' ./internal/server/
+	$(GO) test -race -run TestClusterSmoke .
 
 # Single-iteration pass over the engine + obs benchmarks so they keep
 # compiling and running (BenchmarkDisabledTracer reports allocs/op).

@@ -8,23 +8,35 @@
 // while rows print in suite order — the numbers are identical to a
 // sequential run.
 //
+// With -server the suite is submitted to a running lilyd (or a whole
+// cluster — any node works, jobs route to their digest owners) through
+// the batch API: one POST /v1/batches, then the NDJSON result stream
+// fills rows as they complete. Because mapping is deterministic, the
+// remote tables are byte-identical to local ones.
+//
 // Usage:
 //
 //	tables -table 1            # Table 1 over the full suite
 //	tables -table 2            # Table 2 over the 12 timing circuits
 //	tables -table 1 -only C432 # single row
 //	tables -table 1 -workers 4 # bound the worker pool
+//	tables -table 1 -server http://localhost:8081   # via lilyd batch API
 package main
 
 import (
+	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"runtime"
+	"strings"
 
 	"lily"
 	"lily/internal/engine"
+	"lily/internal/server"
 )
 
 func main() {
@@ -33,6 +45,7 @@ func main() {
 	verify := flag.Bool("verify", false, "verify mapped netlists against the source circuits")
 	autotune := flag.Bool("autotune", false, "let Lily retry with the paper's §5 remedies and keep the best run")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "flow-engine worker-pool size")
+	serverURL := flag.String("server", "", "lilyd base URL; run the suite through its batch API instead of in-process")
 	flag.Parse()
 
 	var names []string
@@ -54,9 +67,14 @@ func main() {
 		objective = lily.ObjectiveDelay
 	}
 
-	eng := engine.New(engine.Config{Workers: *workers})
-	defer func() { _ = eng.Shutdown(context.Background()) }()
-	rows := submitSuite(eng, names, objective, *verify, *autotune)
+	var rows map[string]row
+	if *serverURL != "" {
+		rows = submitBatch(*serverURL, names, objective, *verify, *autotune)
+	} else {
+		eng := engine.New(engine.Config{Workers: *workers})
+		defer func() { _ = eng.Shutdown(context.Background()) }()
+		rows = submitSuite(eng, names, objective, *verify, *autotune)
+	}
 
 	if *table == 1 {
 		runTable1(names, rows)
@@ -65,8 +83,14 @@ func main() {
 	}
 }
 
-// row holds the two jobs of one table line.
-type row struct {
+// row yields one table line: the MIS and Lily results of a circuit.
+// reap blocks until both are available.
+type row interface {
+	reap() (m, l *lily.FlowResult)
+}
+
+// jobRow holds the two in-process engine jobs of one table line.
+type jobRow struct {
 	mis, lily *engine.Job
 }
 
@@ -94,13 +118,13 @@ func submitSuite(eng *engine.Engine, names []string, objective lily.Objective, v
 		if err != nil {
 			fatal(err)
 		}
-		rows[name] = row{mis: m, lily: l}
+		rows[name] = jobRow{mis: m, lily: l}
 	}
 	return rows
 }
 
 // reap blocks until both jobs of a row finish and returns their results.
-func (r row) reap() (m, l *lily.FlowResult) {
+func (r jobRow) reap() (m, l *lily.FlowResult) {
 	ctx := context.Background()
 	mo, err := r.mis.Wait(ctx)
 	if err != nil {
@@ -111,6 +135,110 @@ func (r row) reap() (m, l *lily.FlowResult) {
 		fatal(err)
 	}
 	return mo.Result, lo.Result
+}
+
+// remoteRow holds two futures filled by the batch-stream collector. The
+// channels are buffered so the collector never blocks on a row the
+// printer hasn't reached yet.
+type remoteRow struct {
+	mis, lily chan *lily.FlowResult
+}
+
+func (r remoteRow) reap() (m, l *lily.FlowResult) { return <-r.mis, <-r.lily }
+
+// submitBatch runs the suite through a lilyd batch: one POST with two
+// jobs per circuit (index 2i = MIS, 2i+1 = Lily), then a collector
+// goroutine drains the NDJSON result stream into per-row futures. Rows
+// still print in suite order; the stream arrives in completion order.
+func submitBatch(base string, names []string, objective lily.Objective, verify, autotune bool) map[string]row {
+	base = strings.TrimRight(base, "/")
+	obj := "area"
+	if objective == lily.ObjectiveDelay {
+		obj = "delay"
+	}
+	req := server.BatchSubmitRequest{Jobs: make([]server.SubmitRequest, 0, 2*len(names))}
+	for _, name := range names {
+		req.Jobs = append(req.Jobs,
+			server.SubmitRequest{Benchmark: name, Options: server.JobOptions{
+				Mapper: "mis", Objective: obj, Verify: verify}},
+			server.SubmitRequest{Benchmark: name, Options: server.JobOptions{
+				Mapper: "lily", Objective: obj, Verify: verify, AutoTune: autotune}},
+		)
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		fatal(err)
+	}
+	client := &http.Client{} // no client timeout: the stream lasts as long as the suite
+	resp, err := client.Post(base+"/v1/batches", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		fatal(err)
+	}
+	var ack server.BatchSubmitResponse
+	if resp.StatusCode != http.StatusAccepted {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		resp.Body.Close()
+		fatal(fmt.Errorf("batch submit: %s: %s", resp.Status, e.Error))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		resp.Body.Close()
+		fatal(fmt.Errorf("batch submit: decoding ack: %w", err))
+	}
+	resp.Body.Close()
+
+	rows := make(map[string]row, len(names))
+	byIndex := make([]chan *lily.FlowResult, 2*len(names))
+	for i, name := range names {
+		r := remoteRow{
+			mis:  make(chan *lily.FlowResult, 1),
+			lily: make(chan *lily.FlowResult, 1),
+		}
+		byIndex[2*i], byIndex[2*i+1] = r.mis, r.lily
+		rows[name] = r
+	}
+	go streamBatch(client, base+ack.Stream, byIndex)
+	return rows
+}
+
+// streamBatch drains one batch's NDJSON stream, routing each line's
+// result to its index's future. Any failed job (or a broken stream)
+// aborts the run — a table with holes is worse than no table.
+func streamBatch(client *http.Client, url string, byIndex []chan *lily.FlowResult) {
+	resp, err := client.Get(url)
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("batch stream: %s", resp.Status))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
+	seen := 0
+	for sc.Scan() {
+		var line server.BatchResult
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			fatal(fmt.Errorf("batch stream: bad line: %w", err))
+		}
+		if line.State != "done" || line.Result == nil {
+			fatal(fmt.Errorf("job %s (%s): state %s: %s",
+				line.JobID, line.Benchmark, line.State, line.Error))
+		}
+		if line.Index < 0 || line.Index >= len(byIndex) {
+			fatal(fmt.Errorf("batch stream: index %d out of range", line.Index))
+		}
+		byIndex[line.Index] <- line.Result
+		seen++
+	}
+	if err := sc.Err(); err != nil {
+		fatal(fmt.Errorf("batch stream: %w", err))
+	}
+	if seen != len(byIndex) {
+		fatal(fmt.Errorf("batch stream ended after %d of %d results", seen, len(byIndex)))
+	}
 }
 
 func runTable1(names []string, rows map[string]row) {

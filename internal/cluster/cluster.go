@@ -1,0 +1,526 @@
+// Package cluster turns independent lilyd processes into one logical
+// mapping service. Membership is a static, flag-configured peer list;
+// there is no coordinator and no gossip. Routing is rendezvous (HRW)
+// hashing on the engine's content-addressed request digest, so every node
+// independently agrees on which node owns a request — the same request
+// always lands on (and caches at) the same owner, making the owner's LRU
+// a shared result-cache tier.
+//
+// The client side (Remote, wired into engine.Config.Remote) walks the HRW
+// order for a digest this node does not own: peek the owner's cache
+// (GET /v1/cache/{digest}), else proxy the compute to it
+// (POST /v1/cluster/jobs). An owner that is down, load-shedding (429), or
+// past its deadline spills the request to the next node in the HRW order,
+// and the walk stops at this node's own position — local compute is the
+// final fallback, so a degraded cluster never fails a job. Proxied-in
+// requests are marked LocalOnly, so routing never chains through a third
+// node.
+//
+// Determinism is what makes any of this sound: the pipeline is
+// byte-identical for a given digest on every node (the golden SHA-256
+// harness asserts it cluster-wide), so serving from a peer's cache, a
+// peer's worker, or the local pool are interchangeable.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lily"
+	"lily/internal/engine"
+	"lily/internal/obs"
+)
+
+// Cluster metric names.
+const (
+	metricPeerUp      = "lily_cluster_peer_up"
+	metricProbeFails  = "lily_cluster_probe_failures_total"
+	metricRemoteHits  = "lily_cluster_remote_cache_hits_total"
+	metricProxied     = "lily_cluster_proxied_total"
+	metricSpills      = "lily_cluster_spills_total"
+	metricPeekLatency = "lily_cluster_peek_seconds"
+)
+
+// ErrShed marks a peer that answered 429: alive but refusing work.
+var ErrShed = errors.New("cluster: peer is shedding load")
+
+// Node is one cluster member: a stable ID (the HRW hash input — renaming
+// a node reshuffles its ownership) and its base HTTP URL.
+type Node struct {
+	ID  string
+	URL string
+}
+
+// Config assembles a Cluster.
+type Config struct {
+	// Self is this node's ID. It participates in the HRW ranking but has
+	// no URL — requests it owns are computed locally.
+	Self string
+	// Peers lists the other nodes. Entries with ID == Self are ignored,
+	// so every node can be launched with the same full membership list.
+	Peers []Node
+	// Client performs peer HTTP calls; nil gets a private client.
+	// Per-call deadlines come from PeekTimeout/ProxyTimeout.
+	Client *http.Client
+	// ProbeInterval is the health-probe cadence (default 2s). A failing
+	// peer is probed with exponential backoff up to 16× the interval.
+	ProbeInterval time.Duration
+	// PeekTimeout bounds a cache peek or health probe (default 2s) —
+	// peeks sit on the job's critical path, so they must fail fast.
+	PeekTimeout time.Duration
+	// ProxyTimeout bounds a proxied compute (default 5m); the job's own
+	// context still applies underneath.
+	ProxyTimeout time.Duration
+	// Metrics is the registry for peer-health gauges and routing
+	// counters; nil creates a private one. cmd/lilyd shares the engine's
+	// registry so one /metrics scrape covers everything.
+	Metrics *obs.Registry
+	// Logger, when set, records peer up/down transitions and spills.
+	Logger *slog.Logger
+}
+
+// peer is the live state of one remote node.
+type peer struct {
+	node Node
+	// up is optimistic-start: a fresh cluster routes immediately, and the
+	// first failed call (or probe) flips it.
+	up           atomic.Bool
+	streak       atomic.Uint64 // consecutive probe/call failures
+	backoffUntil atomic.Int64  // unix nanos; probe skipped until then
+	upGauge      *obs.Gauge
+}
+
+func (p *peer) noteSuccess() {
+	p.streak.Store(0)
+	p.backoffUntil.Store(0)
+	if !p.up.Swap(true) {
+		p.upGauge.Set(1)
+	}
+}
+
+// noteFailure marks the peer down and schedules its next probe with
+// exponential backoff: interval << streak, capped at 16× interval.
+func (p *peer) noteFailure(now time.Time, interval time.Duration) {
+	streak := p.streak.Add(1)
+	shift := streak
+	if shift > 4 {
+		shift = 4
+	}
+	p.backoffUntil.Store(now.Add(interval << shift).UnixNano())
+	if p.up.Swap(false) {
+		p.upGauge.Set(0)
+	}
+}
+
+func (p *peer) available() bool { return p.up.Load() }
+
+// Cluster is the peer layer: health-probed membership plus the routed
+// remote path. Safe for concurrent use by every engine worker.
+type Cluster struct {
+	cfg    Config
+	client *http.Client
+	peers  []*peer          // sorted by ID for deterministic listings
+	byID   map[string]*peer // shares peer values with peers
+	ring   []string         // Self + peer IDs: the HRW membership
+
+	reg         *obs.Registry
+	remoteHits  *obs.Counter
+	proxied     *obs.Counter
+	spills      *obs.CounterVec
+	spillsTotal atomic.Uint64
+	probeFails  *obs.Counter
+	peekSeconds *obs.Histogram
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// New builds the peer layer and starts its health prober; Close stops it.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Self == "" {
+		return nil, errors.New("cluster: Config.Self must be set")
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 2 * time.Second
+	}
+	if cfg.PeekTimeout <= 0 {
+		cfg.PeekTimeout = 2 * time.Second
+	}
+	if cfg.ProxyTimeout <= 0 {
+		cfg.ProxyTimeout = 5 * time.Minute
+	}
+	c := &Cluster{
+		cfg:    cfg,
+		client: cfg.Client,
+		byID:   make(map[string]*peer),
+		stop:   make(chan struct{}),
+	}
+	if c.client == nil {
+		c.client = &http.Client{}
+	}
+	c.reg = cfg.Metrics
+	if c.reg == nil {
+		c.reg = obs.NewRegistry()
+	}
+	peerUp := c.reg.GaugeVec(metricPeerUp, "Peer health by node ID (1 = reachable).", "peer")
+	c.remoteHits = c.reg.Counter(metricRemoteHits,
+		"Requests served from a peer's result cache (cache peek hit).")
+	c.proxied = c.reg.Counter(metricProxied,
+		"Requests computed by their owner node via the proxy endpoint.")
+	c.spills = c.reg.CounterVec(metricSpills,
+		"Requests that skipped a node in the HRW order, by reason.", "reason")
+	c.probeFails = c.reg.Counter(metricProbeFails, "Failed peer health probes.")
+	c.peekSeconds = c.reg.Histogram(metricPeekLatency, "Cache-peek round-trip time.", obs.DefBuckets)
+	for _, n := range cfg.Peers {
+		if n.ID == cfg.Self {
+			continue
+		}
+		if n.ID == "" || n.URL == "" {
+			return nil, fmt.Errorf("cluster: peer needs both ID and URL (got %+v)", n)
+		}
+		if _, dup := c.byID[n.ID]; dup {
+			return nil, fmt.Errorf("cluster: duplicate peer ID %q", n.ID)
+		}
+		p := &peer{node: n, upGauge: peerUp.With(n.ID)}
+		p.up.Store(true)
+		p.upGauge.Set(1)
+		c.byID[n.ID] = p
+		c.peers = append(c.peers, p)
+	}
+	sort.Slice(c.peers, func(i, j int) bool { return c.peers[i].node.ID < c.peers[j].node.ID })
+	c.ring = make([]string, 0, len(c.peers)+1)
+	c.ring = append(c.ring, cfg.Self)
+	for _, p := range c.peers {
+		c.ring = append(c.ring, p.node.ID)
+	}
+	c.wg.Add(1)
+	go c.probeLoop()
+	return c, nil
+}
+
+// Close stops the health prober. In-flight Remote calls finish normally.
+func (c *Cluster) Close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.wg.Wait()
+}
+
+// Registry returns the metrics registry the cluster reports into.
+func (c *Cluster) Registry() *obs.Registry { return c.reg }
+
+// Nodes returns the full membership (self + peers) — the HRW ring.
+func (c *Cluster) Nodes() []string {
+	out := make([]string, len(c.ring))
+	copy(out, c.ring)
+	return out
+}
+
+// Self returns this node's ID.
+func (c *Cluster) Self() string { return c.cfg.Self }
+
+// OwnerOf returns the node that owns a digest under the current ring.
+func (c *Cluster) OwnerOf(digest string) string { return Owner(digest, c.ring) }
+
+// Remote implements engine.RemoteFunc: walk the HRW order for the digest
+// until a peer serves the request or the walk reaches this node's own
+// position (→ compute locally). See the package comment for the policy.
+func (c *Cluster) Remote(ctx context.Context, digest string, circ *lily.Circuit, req engine.Request) (*engine.Outcome, error) {
+	var blif []byte // serialized lazily, once, on the first proxy attempt
+	for _, id := range Rank(digest, c.ring) {
+		if id == c.cfg.Self {
+			return nil, nil // our slot in the spill order: compute locally
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		p := c.byID[id]
+		if !p.available() {
+			c.spill(id, digest, "down", nil)
+			continue
+		}
+		out, found, err := c.peek(ctx, p, digest)
+		if err != nil {
+			c.spill(id, digest, classifySpill(err), err)
+			continue
+		}
+		if found {
+			c.remoteHits.Inc()
+			return out, nil
+		}
+		// Owner cache miss: hand it the compute so the result lands (and
+		// stays cached) at its HRW home.
+		if blif == nil {
+			var buf bytes.Buffer
+			if werr := circ.WriteBLIF(&buf); werr != nil {
+				return nil, fmt.Errorf("cluster: serialize circuit: %w", werr)
+			}
+			blif = buf.Bytes()
+		}
+		out, err = c.proxy(ctx, p, digest, blif, req)
+		if err != nil {
+			c.spill(id, digest, classifySpill(err), err)
+			continue
+		}
+		c.proxied.Inc()
+		return out, nil
+	}
+	// Self is always in the ring, so the loop returns there; this is only
+	// reachable with a pathological ring. Compute locally.
+	return nil, nil
+}
+
+// spill records one skipped node in the HRW walk.
+func (c *Cluster) spill(id, digest, reason string, err error) {
+	c.spills.With(reason).Inc()
+	c.spillsTotal.Add(1)
+	if lg := c.cfg.Logger; lg != nil {
+		attrs := []any{
+			slog.String("peer", id),
+			slog.String("digest", digest),
+			slog.String("reason", reason),
+		}
+		if err != nil {
+			attrs = append(attrs, slog.String("error", err.Error()))
+		}
+		lg.Warn("cluster spill", attrs...)
+	}
+}
+
+// classifySpill folds a peer error into the spill-reason label set (fixed
+// cardinality: down, shed, timeout, error).
+func classifySpill(err error) string {
+	switch {
+	case errors.Is(err, ErrShed):
+		return "shed"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	case isNetErr(err):
+		return "down"
+	default:
+		return "error"
+	}
+}
+
+// isNetErr reports whether err came from the transport rather than the
+// peer's handler: http.Client wraps every transport failure in
+// *url.Error, while a decoded HTTP status never is one.
+func isNetErr(err error) bool {
+	var uerr *url.Error
+	return errors.As(err, &uerr)
+}
+
+// peek asks a node's cache for the digest. Returns (outcome, true) on a
+// hit, (nil, false) on a clean miss, error otherwise. Bounded by
+// PeekTimeout — the peek sits on the job's critical path.
+func (c *Cluster) peek(ctx context.Context, p *peer, digest string) (*engine.Outcome, bool, error) {
+	pctx, cancel := context.WithTimeout(ctx, c.cfg.PeekTimeout)
+	defer cancel()
+	start := time.Now()
+	hreq, err := http.NewRequestWithContext(pctx, http.MethodGet, p.node.URL+"/v1/cache/"+digest, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := c.client.Do(hreq)
+	c.peekSeconds.Observe(time.Since(start).Seconds())
+	if err != nil {
+		// Transport failure: the peer is unreachable (or too slow even
+		// for a peek); mark it down so the next walks skip it until a
+		// probe brings it back.
+		p.noteFailure(time.Now(), c.cfg.ProbeInterval)
+		return nil, false, err
+	}
+	defer discard(resp)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		p.noteSuccess()
+		out, err := decodeOutcome(resp.Body, digest)
+		if err != nil {
+			return nil, false, err
+		}
+		return out, true, nil
+	case http.StatusNotFound:
+		p.noteSuccess()
+		return nil, false, nil
+	case http.StatusTooManyRequests:
+		return nil, false, ErrShed
+	default:
+		return nil, false, fmt.Errorf("cluster: peek %s: %s", p.node.ID, resp.Status)
+	}
+}
+
+// proxy sends the request to a node for local execution there. Bounded by
+// ProxyTimeout on top of the job's own context. A proxy deadline does NOT
+// mark the peer down — the job may simply be bigger than the budget.
+func (c *Cluster) proxy(ctx context.Context, p *peer, digest string, blif []byte, req engine.Request) (*engine.Outcome, error) {
+	pctx, cancel := context.WithTimeout(ctx, c.cfg.ProxyTimeout)
+	defer cancel()
+	body, err := json.Marshal(WireJob{
+		Digest:    digest,
+		BLIF:      string(blif),
+		Options:   req.Options,
+		SVG:       req.RenderSVG,
+		EmitBLIF:  req.EmitBLIF,
+		TimeoutMS: req.Timeout.Milliseconds(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(pctx, http.MethodPost, p.node.URL+"/v1/cluster/jobs", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(hreq)
+	if err != nil {
+		if pctx.Err() == nil {
+			// Failed without exhausting the proxy budget: transport-level,
+			// the peer is gone.
+			p.noteFailure(time.Now(), c.cfg.ProbeInterval)
+		}
+		return nil, err
+	}
+	defer discard(resp)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		p.noteSuccess()
+		return decodeOutcome(resp.Body, digest)
+	case http.StatusTooManyRequests:
+		return nil, ErrShed
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("cluster: proxy to %s: %s: %s", p.node.ID, resp.Status, bytes.TrimSpace(msg))
+	}
+}
+
+// decodeOutcome parses a WireOutcome and checks it answers the digest we
+// asked about — a mismatch means version skew between nodes, and the
+// caller must fall back rather than serve another mapper's bytes.
+func decodeOutcome(r io.Reader, digest string) (*engine.Outcome, error) {
+	var wo WireOutcome
+	if err := json.NewDecoder(r).Decode(&wo); err != nil {
+		return nil, fmt.Errorf("cluster: decode outcome: %w", err)
+	}
+	if wo.Digest != digest {
+		return nil, fmt.Errorf("cluster: outcome digest %.12s does not answer request %.12s (version skew?)", wo.Digest, digest)
+	}
+	if wo.Result == nil {
+		return nil, errors.New("cluster: outcome has no result")
+	}
+	return &engine.Outcome{Result: wo.Result, SVG: wo.SVG, MappedBLIF: wo.MappedBLIF}, nil
+}
+
+// discard drains and closes a response body so the connection is reusable.
+func discard(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	_ = resp.Body.Close()
+}
+
+// probeLoop drives peer health at ProbeInterval until Close.
+func (c *Cluster) probeLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			c.probeAll(time.Now())
+		case <-c.stop:
+			return
+		}
+	}
+}
+
+// probeAll probes every peer whose backoff window has elapsed, in
+// parallel so one hung peer cannot starve the others' probes.
+func (c *Cluster) probeAll(now time.Time) {
+	var wg sync.WaitGroup
+	for _, p := range c.peers {
+		if now.UnixNano() < p.backoffUntil.Load() {
+			continue
+		}
+		wg.Add(1)
+		go func(p *peer) {
+			defer wg.Done()
+			c.probe(p)
+		}(p)
+	}
+	wg.Wait()
+}
+
+// probe checks one peer's /healthz and updates its availability.
+func (c *Cluster) probe(p *peer) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.PeekTimeout)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, p.node.URL+"/healthz", nil)
+	if err != nil {
+		return
+	}
+	resp, err := c.client.Do(hreq)
+	if err == nil {
+		discard(resp)
+	}
+	if err != nil || resp.StatusCode != http.StatusOK {
+		wasUp := p.up.Load()
+		c.probeFails.Inc()
+		p.noteFailure(time.Now(), c.cfg.ProbeInterval)
+		if wasUp && c.cfg.Logger != nil {
+			c.cfg.Logger.Warn("peer down", slog.String("peer", p.node.ID), slog.String("url", p.node.URL))
+		}
+		return
+	}
+	wasDown := !p.up.Load()
+	p.noteSuccess()
+	if wasDown && c.cfg.Logger != nil {
+		c.cfg.Logger.Info("peer up", slog.String("peer", p.node.ID), slog.String("url", p.node.URL))
+	}
+}
+
+// PeerInfo is one peer's health snapshot (GET /v1/stats "cluster" block).
+type PeerInfo struct {
+	ID       string `json:"id"`
+	URL      string `json:"url"`
+	Up       bool   `json:"up"`
+	Failures uint64 `json:"consecutive_failures"`
+}
+
+// Info is the cluster's point-in-time snapshot.
+type Info struct {
+	Self       string     `json:"self"`
+	Nodes      int        `json:"nodes"`
+	Peers      []PeerInfo `json:"peers"`
+	RemoteHits uint64     `json:"remote_cache_hits"`
+	Proxied    uint64     `json:"proxied"`
+	Spills     uint64     `json:"spills"`
+}
+
+// Info snapshots membership health and routing counters.
+func (c *Cluster) Info() Info {
+	info := Info{
+		Self:       c.cfg.Self,
+		Nodes:      len(c.ring),
+		Peers:      make([]PeerInfo, 0, len(c.peers)),
+		RemoteHits: c.remoteHits.Value(),
+		Proxied:    c.proxied.Value(),
+		Spills:     c.spillsTotal.Load(),
+	}
+	for _, p := range c.peers {
+		info.Peers = append(info.Peers, PeerInfo{
+			ID:       p.node.ID,
+			URL:      p.node.URL,
+			Up:       p.up.Load(),
+			Failures: p.streak.Load(),
+		})
+	}
+	return info
+}

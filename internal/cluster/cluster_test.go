@@ -1,0 +1,320 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lily"
+	"lily/internal/engine"
+)
+
+// testCircuit parses a small fixed circuit for proxy serialization.
+func testCircuit(t *testing.T) *lily.Circuit {
+	t.Helper()
+	const src = `.model tc
+.inputs a b
+.outputs y
+.names a b y
+11 1
+.end
+`
+	c, err := lily.LoadBLIF(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("LoadBLIF: %v", err)
+	}
+	return c
+}
+
+// ownedBy finds a digest whose HRW owner is the wanted node.
+func ownedBy(t *testing.T, ring []string, want string) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		if d := digestN(i); Owner(d, ring) == want {
+			return d
+		}
+	}
+	t.Fatalf("no digest owned by %s in 10000 tries", want)
+	return ""
+}
+
+// newTestCluster builds a 2-node cluster (self + one httptest peer whose
+// handler the test swaps at will) with fast timeouts. The probe loop is
+// effectively disabled (1h interval) unless the test opts in.
+func newTestCluster(t *testing.T, probeInterval time.Duration) (*Cluster, *atomic.Value, *httptest.Server) {
+	t.Helper()
+	var handler atomic.Value // of http.HandlerFunc
+	handler.Store(http.HandlerFunc(http.NotFound))
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		handler.Load().(http.HandlerFunc)(w, r)
+	}))
+	t.Cleanup(srv.Close)
+	if probeInterval <= 0 {
+		probeInterval = time.Hour
+	}
+	c, err := New(Config{
+		Self:          "self",
+		Peers:         []Node{{ID: "peer", URL: srv.URL}},
+		ProbeInterval: probeInterval,
+		PeekTimeout:   250 * time.Millisecond,
+		ProxyTimeout:  2 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(c.Close)
+	return c, &handler, srv
+}
+
+func wireOutcomeJSON(t *testing.T, digest string) []byte {
+	t.Helper()
+	b, err := json.Marshal(WireOutcome{
+		Digest: digest,
+		Result: &lily.FlowResult{Circuit: "tc", Gates: 3},
+	})
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return b
+}
+
+func TestNewValidatesMembership(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatalf("New accepted empty Self")
+	}
+	if _, err := New(Config{Self: "a", Peers: []Node{{ID: "b"}}}); err == nil {
+		t.Fatalf("New accepted peer without URL")
+	}
+	if _, err := New(Config{Self: "a", Peers: []Node{
+		{ID: "b", URL: "http://x"}, {ID: "b", URL: "http://y"},
+	}}); err == nil {
+		t.Fatalf("New accepted duplicate peer IDs")
+	}
+	// Self in the peer list is ignored: every node can take the same list.
+	c, err := New(Config{Self: "a", Peers: []Node{
+		{ID: "a", URL: "http://self"}, {ID: "b", URL: "http://x"},
+	}})
+	if err != nil {
+		t.Fatalf("New rejected membership containing Self: %v", err)
+	}
+	defer c.Close()
+	nodes := c.Nodes()
+	if len(nodes) != 2 || nodes[0] != "a" || nodes[1] != "b" {
+		t.Fatalf("ring = %v, want [a b]", nodes)
+	}
+}
+
+func TestRemoteSelfOwnedComputesLocally(t *testing.T) {
+	c, handler, _ := newTestCluster(t, 0)
+	var calls atomic.Int64
+	handler.Store(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.NotFound(w, r)
+	}))
+	d := ownedBy(t, c.Nodes(), "self")
+	out, err := c.Remote(context.Background(), d, testCircuit(t), engine.Request{})
+	if out != nil || err != nil {
+		t.Fatalf("Remote = (%v, %v), want (nil, nil) for self-owned digest", out, err)
+	}
+	if calls.Load() != 0 {
+		t.Fatalf("self-owned digest still called the peer %d times", calls.Load())
+	}
+}
+
+func TestRemotePeekHit(t *testing.T) {
+	c, handler, _ := newTestCluster(t, 0)
+	d := ownedBy(t, c.Nodes(), "peer")
+	body := wireOutcomeJSON(t, d)
+	handler.Store(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet || r.URL.Path != "/v1/cache/"+d {
+			t.Errorf("unexpected peer call: %s %s", r.Method, r.URL.Path)
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(body)
+	}))
+	out, err := c.Remote(context.Background(), d, testCircuit(t), engine.Request{})
+	if err != nil || out == nil {
+		t.Fatalf("Remote = (%v, %v), want peeked outcome", out, err)
+	}
+	if out.Result.Gates != 3 {
+		t.Fatalf("bad peeked result: %+v", out.Result)
+	}
+	if info := c.Info(); info.RemoteHits != 1 || info.Proxied != 0 || info.Spills != 0 {
+		t.Fatalf("counters = %+v, want 1 remote hit only", info)
+	}
+}
+
+func TestRemoteProxyOnCacheMiss(t *testing.T) {
+	c, handler, _ := newTestCluster(t, 0)
+	d := ownedBy(t, c.Nodes(), "peer")
+	var gotJob WireJob
+	handler.Store(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.Method == http.MethodGet:
+			http.NotFound(w, r) // cache miss
+		case r.Method == http.MethodPost && r.URL.Path == "/v1/cluster/jobs":
+			if err := json.NewDecoder(r.Body).Decode(&gotJob); err != nil {
+				t.Errorf("decode WireJob: %v", err)
+			}
+			_, _ = w.Write(wireOutcomeJSON(t, d))
+		default:
+			t.Errorf("unexpected peer call: %s %s", r.Method, r.URL.Path)
+			http.NotFound(w, r)
+		}
+	}))
+	req := engine.Request{
+		Options: lily.FlowOptions{Mapper: lily.MapperLily, Objective: lily.ObjectiveDelay},
+		Timeout: 90 * time.Second,
+	}
+	out, err := c.Remote(context.Background(), d, testCircuit(t), req)
+	if err != nil || out == nil {
+		t.Fatalf("Remote = (%v, %v), want proxied outcome", out, err)
+	}
+	if gotJob.Digest != d || gotJob.BLIF == "" {
+		t.Fatalf("proxied WireJob incomplete: %+v", gotJob)
+	}
+	if gotJob.Options.Objective != lily.ObjectiveDelay || gotJob.TimeoutMS != 90_000 {
+		t.Fatalf("proxied WireJob lost options: %+v", gotJob)
+	}
+	if info := c.Info(); info.Proxied != 1 || info.RemoteHits != 0 {
+		t.Fatalf("counters = %+v, want 1 proxied", info)
+	}
+}
+
+func TestRemoteSpillsWhenOwnerDown(t *testing.T) {
+	c, handler, srv := newTestCluster(t, 0)
+	handler.Store(http.HandlerFunc(http.NotFound))
+	srv.Close() // owner hard-down: connection refused
+	d := ownedBy(t, c.Nodes(), "peer")
+	out, err := c.Remote(context.Background(), d, testCircuit(t), engine.Request{})
+	if out != nil || err != nil {
+		t.Fatalf("Remote = (%v, %v), want (nil, nil) fallback", out, err)
+	}
+	info := c.Info()
+	if info.Spills == 0 {
+		t.Fatalf("owner-down walk recorded no spill: %+v", info)
+	}
+	// The transport failure marked the peer down: the next walk skips it
+	// without a network call.
+	if len(info.Peers) != 1 || info.Peers[0].Up {
+		t.Fatalf("peer still marked up after connection refused: %+v", info.Peers)
+	}
+	if out, err := c.Remote(context.Background(), d, testCircuit(t), engine.Request{}); out != nil || err != nil {
+		t.Fatalf("second walk = (%v, %v), want immediate local fallback", out, err)
+	}
+}
+
+func TestRemoteSpillsWhenOwnerSheds(t *testing.T) {
+	c, handler, _ := newTestCluster(t, 0)
+	handler.Store(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	d := ownedBy(t, c.Nodes(), "peer")
+	out, err := c.Remote(context.Background(), d, testCircuit(t), engine.Request{})
+	if out != nil || err != nil {
+		t.Fatalf("Remote = (%v, %v), want (nil, nil) fallback past shedding owner", out, err)
+	}
+	info := c.Info()
+	if info.Spills != 1 {
+		t.Fatalf("spills = %d, want 1", info.Spills)
+	}
+	// Shedding is not death: the peer must stay routable for later jobs.
+	if !info.Peers[0].Up {
+		t.Fatalf("429 wrongly marked the peer down: %+v", info.Peers)
+	}
+	if got := c.spills.With("shed").Value(); got != 1 {
+		t.Fatalf("shed-spill counter = %d, want 1", got)
+	}
+}
+
+func TestRemoteSpillsWhenOwnerSlow(t *testing.T) {
+	c, handler, _ := newTestCluster(t, 0)
+	block := make(chan struct{})
+	defer close(block)
+	handler.Store(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select { // far beyond the 250ms peek budget
+		case <-block:
+		case <-r.Context().Done():
+		}
+	}))
+	d := ownedBy(t, c.Nodes(), "peer")
+	start := time.Now()
+	out, err := c.Remote(context.Background(), d, testCircuit(t), engine.Request{})
+	if out != nil || err != nil {
+		t.Fatalf("Remote = (%v, %v), want (nil, nil) fallback past slow owner", out, err)
+	}
+	if took := time.Since(start); took > 2*time.Second {
+		t.Fatalf("slow owner stalled the walk for %v — peek budget not enforced", took)
+	}
+	if info := c.Info(); info.Spills == 0 {
+		t.Fatalf("slow-owner walk recorded no spill: %+v", info)
+	}
+}
+
+func TestRemoteRejectsDigestMismatch(t *testing.T) {
+	c, handler, _ := newTestCluster(t, 0)
+	d := ownedBy(t, c.Nodes(), "peer")
+	handler.Store(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Answer with a well-formed outcome for the WRONG digest — the
+		// version-skew case the decode guard exists for.
+		_, _ = w.Write(wireOutcomeJSON(t, "0000000000000000000000000000000000000000000000000000000000000000"))
+	}))
+	out, err := c.Remote(context.Background(), d, testCircuit(t), engine.Request{})
+	if out != nil || err != nil {
+		t.Fatalf("Remote = (%v, %v), want (nil, nil) fallback on skewed answer", out, err)
+	}
+	if info := c.Info(); info.Spills == 0 || info.RemoteHits != 0 {
+		t.Fatalf("skewed answer not treated as spill: %+v", info)
+	}
+}
+
+func TestRemoteHonorsCanceledContext(t *testing.T) {
+	c, _, _ := newTestCluster(t, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	d := ownedBy(t, c.Nodes(), "peer")
+	if _, err := c.Remote(ctx, d, testCircuit(t), engine.Request{}); err == nil {
+		t.Fatalf("Remote ignored canceled context")
+	}
+}
+
+func TestProbeMarksPeerDownThenUp(t *testing.T) {
+	var healthy atomic.Bool
+	c, handler, _ := newTestCluster(t, 20*time.Millisecond)
+	handler.Store(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" && healthy.Load() {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+
+	waitFor(t, "probe to mark peer down", func() bool {
+		return !c.Info().Peers[0].Up
+	})
+	healthy.Store(true)
+	waitFor(t, "probe to mark peer up again", func() bool {
+		return c.Info().Peers[0].Up
+	})
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

@@ -1,0 +1,66 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+)
+
+// Rendezvous (highest-random-weight) hashing over the engine's request
+// digest. Every node computes the same ranking from the same static
+// membership list, so request ownership needs no coordination: the
+// top-ranked node owns the digest, and the rest of the order is the
+// deterministic spill sequence when the owner is down or shedding.
+// Unlike consistent hashing, removing one node only ever reassigns the
+// digests that node owned — everything else keeps its owner and its
+// warm cache.
+
+// score is the HRW weight of (node, digest): the first 8 bytes of
+// SHA-256(node || 0x00 || digest) as a big-endian integer. SHA-256 keeps
+// the weight uniform and independent across nodes, and reuses the hash
+// the digest itself is built from — no second hash family to reason about.
+func score(node, digest string) uint64 {
+	h := sha256.New()
+	h.Write([]byte(node))
+	h.Write([]byte{0})
+	h.Write([]byte(digest))
+	var sum [sha256.Size]byte
+	s := h.Sum(sum[:0])
+	return binary.BigEndian.Uint64(s[:8])
+}
+
+// Rank orders nodes by descending HRW score for digest: Rank(...)[0] is
+// the owner, the tail is the spill order. Ties (astronomically unlikely,
+// but the order must be total) break on the smaller node ID. The input
+// slice is not modified.
+func Rank(digest string, nodes []string) []string {
+	ranked := make([]string, len(nodes))
+	copy(ranked, nodes)
+	scores := make(map[string]uint64, len(ranked))
+	for _, n := range ranked {
+		scores[n] = score(n, digest)
+	}
+	sort.SliceStable(ranked, func(i, j int) bool {
+		si, sj := scores[ranked[i]], scores[ranked[j]]
+		if si != sj {
+			return si > sj
+		}
+		return ranked[i] < ranked[j]
+	})
+	return ranked
+}
+
+// Owner returns the top-ranked node for digest ("" for an empty list).
+func Owner(digest string, nodes []string) string {
+	if len(nodes) == 0 {
+		return ""
+	}
+	best := nodes[0]
+	bestScore := score(best, digest)
+	for _, n := range nodes[1:] {
+		if s := score(n, digest); s > bestScore || (s == bestScore && n < best) {
+			best, bestScore = n, s
+		}
+	}
+	return best
+}

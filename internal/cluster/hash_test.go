@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// digestN derives a well-formed (hex SHA-256) digest from an index.
+func digestN(i int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("digest-%d", i)))
+	return hex.EncodeToString(sum[:])
+}
+
+func TestRankDeterministicAndComplete(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3", "n4"}
+	d := digestN(7)
+	first := Rank(d, nodes)
+	if len(first) != len(nodes) {
+		t.Fatalf("Rank dropped nodes: %v", first)
+	}
+	seen := make(map[string]bool)
+	for _, id := range first {
+		seen[id] = true
+	}
+	for _, id := range nodes {
+		if !seen[id] {
+			t.Fatalf("Rank lost node %s: %v", id, first)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if got := Rank(d, nodes); !reflect.DeepEqual(got, first) {
+			t.Fatalf("Rank not deterministic: %v vs %v", got, first)
+		}
+	}
+	if !reflect.DeepEqual(nodes, []string{"n1", "n2", "n3", "n4"}) {
+		t.Fatalf("Rank mutated its input: %v", nodes)
+	}
+}
+
+// TestRankOrderIndependent: every node must compute the same ranking
+// from its own view of the membership, whatever order its flag listed
+// the peers in — that is what lets the nodes agree without coordination.
+func TestRankOrderIndependent(t *testing.T) {
+	a := []string{"n1", "n2", "n3", "n4"}
+	b := []string{"n4", "n2", "n1", "n3"}
+	for i := 0; i < 100; i++ {
+		d := digestN(i)
+		if ra, rb := Rank(d, a), Rank(d, b); !reflect.DeepEqual(ra, rb) {
+			t.Fatalf("digest %d: ranking depends on input order: %v vs %v", i, ra, rb)
+		}
+	}
+}
+
+// TestOwnerStableUnderNonOwnerRemoval is rendezvous hashing's defining
+// property: removing a node only reassigns the digests that node owned.
+// Every other digest keeps its owner, so a node failure invalidates no
+// other node's cache locality.
+func TestOwnerStableUnderNonOwnerRemoval(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3", "n4", "n5"}
+	for i := 0; i < 500; i++ {
+		d := digestN(i)
+		owner := Owner(d, nodes)
+		for _, removed := range nodes {
+			if removed == owner {
+				continue
+			}
+			rest := make([]string, 0, len(nodes)-1)
+			for _, id := range nodes {
+				if id != removed {
+					rest = append(rest, id)
+				}
+			}
+			if got := Owner(d, rest); got != owner {
+				t.Fatalf("digest %d: removing non-owner %s moved ownership %s→%s",
+					i, removed, owner, got)
+			}
+		}
+	}
+}
+
+// TestOwnerFailoverIsNextInRank: when the owner disappears, its digests
+// move to rank position 2 — the deterministic spill target the Remote
+// walk already uses.
+func TestOwnerFailoverIsNextInRank(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3"}
+	for i := 0; i < 200; i++ {
+		d := digestN(i)
+		order := Rank(d, nodes)
+		rest := []string{}
+		for _, id := range nodes {
+			if id != order[0] {
+				rest = append(rest, id)
+			}
+		}
+		if got := Owner(d, rest); got != order[1] {
+			t.Fatalf("digest %d: failover owner %s, want rank-2 node %s", i, got, order[1])
+		}
+	}
+}
+
+// TestOwnerRoughBalance: HRW should spread ownership close to uniformly.
+// With 1200 digests over 3 nodes the expected share is 400; allow a wide
+// ±50% band — this guards against a broken hash, not statistics.
+func TestOwnerRoughBalance(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3"}
+	counts := map[string]int{}
+	const total = 1200
+	for i := 0; i < total; i++ {
+		counts[Owner(digestN(i), nodes)]++
+	}
+	for _, id := range nodes {
+		if c := counts[id]; c < total/6 || c > total/2 {
+			t.Fatalf("node %s owns %d of %d digests — hash badly skewed (%v)", id, c, total, counts)
+		}
+	}
+}
+
+func TestOwnerEdgeCases(t *testing.T) {
+	if got := Owner(digestN(1), nil); got != "" {
+		t.Fatalf("Owner of empty ring = %q, want \"\"", got)
+	}
+	if got := Owner(digestN(1), []string{"solo"}); got != "solo" {
+		t.Fatalf("Owner of 1-ring = %q, want solo", got)
+	}
+}

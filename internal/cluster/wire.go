@@ -1,0 +1,44 @@
+// Wire formats of the intra-cluster protocol. Two endpoints, both served
+// by internal/server and called by the client in this package:
+//
+//	GET  /v1/cache/{digest}   cache peek: the owner's cached WireOutcome, or 404
+//	POST /v1/cluster/jobs     proxied compute: WireJob in, WireOutcome out
+//
+// The formats are self-contained — canonical BLIF plus the full
+// lily.FlowOptions value — so proxying loses no option fidelity, and the
+// receiving node recomputes the digest to detect version skew: a node
+// running different mapper code answers 409 and the caller degrades to
+// local compute instead of mixing outputs from two mapper versions.
+package cluster
+
+import (
+	"lily"
+)
+
+// WireJob is the body of POST /v1/cluster/jobs: one fully resolved
+// request, forwarded by a non-owner node to the digest's owner.
+type WireJob struct {
+	// Digest is the sender's engine.RequestDigest for this request. The
+	// receiver recomputes and must agree (409 on mismatch).
+	Digest string `json:"digest"`
+	// BLIF is the canonical circuit serialization (Circuit.WriteBLIF) —
+	// benchmark names and in-memory circuits are resolved before the wire.
+	BLIF string `json:"blif"`
+	// Options is the flow configuration, verbatim.
+	Options lily.FlowOptions `json:"options"`
+	// SVG and EmitBLIF select the requested artifact (see engine.Request).
+	SVG      bool `json:"svg,omitempty"`
+	EmitBLIF bool `json:"emit_blif,omitempty"`
+	// TimeoutMS bounds the run on the executing node; 0 uses its default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// WireOutcome is the body of a successful cache peek or proxied compute:
+// the engine.Outcome of the digest, portable across nodes. []byte fields
+// ride JSON's standard base64 encoding.
+type WireOutcome struct {
+	Digest     string           `json:"digest"`
+	Result     *lily.FlowResult `json:"result"`
+	SVG        []byte           `json:"svg,omitempty"`
+	MappedBLIF []byte           `json:"mapped_blif,omitempty"`
+}

@@ -12,16 +12,33 @@ import (
 
 // requestKey derives the content-addressed cache key of a job: the SHA-256
 // of the circuit's canonical BLIF serialization, the normalized flow
-// options, and the SVG flag. Two submissions with structurally identical
-// circuits and semantically identical options collide on the same key, so
-// repeats are served from cache and identical in-flight runs are deduped.
-func requestKey(blif []byte, opt lily.FlowOptions, renderSVG bool) string {
+// options, and the output-artifact flags. Two submissions with structurally
+// identical circuits and semantically identical options collide on the same
+// key, so repeats are served from cache and identical in-flight runs are
+// deduped. The same key is the cluster routing digest: rendezvous hashing
+// on it sends every copy of a request to the same owner node (see
+// internal/cluster), so the format is pinned by TestRequestDigestFormat.
+func requestKey(blif []byte, opt lily.FlowOptions, renderSVG, emitBLIF bool) string {
 	h := sha256.New()
 	h.Write(blif)
 	// FlowOptions contains only value-typed fields, so its %+v rendering
 	// is deterministic and injective over the normalized option space.
-	fmt.Fprintf(h, "\x00opt=%+v\x00svg=%t", normalizeOptions(opt), renderSVG)
+	fmt.Fprintf(h, "\x00opt=%+v\x00svg=%t\x00blif=%t", normalizeOptions(opt), renderSVG, emitBLIF)
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// RequestDigest computes the content-addressed digest of a request without
+// submitting it: the cache key a job for req would carry (Job.Key,
+// Status.Digest). Peers use it to agree on request ownership — every node
+// computes the same digest for the same request, so rendezvous hashing
+// routes all copies to one owner — and the proxy endpoint recomputes it to
+// detect version skew between nodes.
+func RequestDigest(req Request) (string, error) {
+	_, blif, err := resolveCircuit(req)
+	if err != nil {
+		return "", err
+	}
+	return requestKey(blif, req.Options, req.RenderSVG, req.EmitBLIF), nil
 }
 
 // normalizeOptions canonicalizes option settings that the pipeline treats
@@ -107,6 +124,14 @@ func (c *lruCache) add(key string, out *Outcome) {
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*cacheEntry).key)
 	}
+}
+
+// PeekCache looks up a finished outcome by request digest. It is the
+// cluster cache-peek surface (GET /v1/cache/{digest} in internal/server):
+// a peer that owns a digest answers from here without spending a worker.
+// The lookup counts as a use for LRU recency.
+func (e *Engine) PeekCache(digest string) (*Outcome, bool) {
+	return e.cache.get(digest)
 }
 
 func (c *lruCache) len() int {

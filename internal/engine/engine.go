@@ -37,6 +37,22 @@ var ErrQueueFull = errors.New("engine: queue full")
 // the lily pipeline; tests inject fakes to exercise scheduling behavior.
 type RunFunc func(ctx context.Context, c *lily.Circuit, req Request) (*Outcome, error)
 
+// RemoteFunc consults the cluster tier for a job this node does not own.
+// It is called by the singleflight leader after a local cache miss, with
+// the job's digest (Job.Key) and its resolved circuit. Three outcomes:
+//
+//   - (out, nil): the request was served remotely — from the owner's
+//     cache or by proxied compute. The engine caches it locally and
+//     finishes the job without running the pipeline.
+//   - (nil, nil): this node owns the digest (or chose not to go remote);
+//     compute locally.
+//   - (nil, err): the remote tier failed (owner down, shedding, slow).
+//     The engine degrades to local compute — a broken cluster never
+//     fails a job, it only costs the work.
+//
+// The hook is skipped for requests marked LocalOnly (proxied-in work).
+type RemoteFunc func(ctx context.Context, digest string, c *lily.Circuit, req Request) (*Outcome, error)
+
 // Config tunes an Engine.
 type Config struct {
 	// Workers is the worker-pool size; 0 means GOMAXPROCS.
@@ -78,6 +94,10 @@ type Config struct {
 	OnTerminal func(Status)
 	// Run overrides the job executor (tests); nil runs the lily pipeline.
 	Run RunFunc
+	// Remote, when set, is consulted before local compute for jobs whose
+	// digest another cluster node owns (see RemoteFunc). cmd/lilyd wires
+	// internal/cluster's Remote here; nil keeps the engine single-node.
+	Remote RemoteFunc
 }
 
 // Stats is a point-in-time snapshot of engine counters. QueueLen is the
@@ -97,6 +117,7 @@ type Stats struct {
 	Evicted      uint64        `json:"evicted"`
 	CacheHits    uint64        `json:"cache_hits"`
 	CacheMisses  uint64        `json:"cache_misses"`
+	RemoteHits   uint64        `json:"cache_remote_hits"`
 	Deduped      uint64        `json:"deduped"`
 	DedupReruns  uint64        `json:"dedup_reruns"`
 	Panics       uint64        `json:"panics"`
@@ -187,7 +208,7 @@ func New(cfg Config) *Engine {
 }
 
 // runPipeline is the production executor: the full lily flow, optionally
-// rendering the layout SVG.
+// rendering the layout SVG or capturing the mapped BLIF byte stream.
 func runPipeline(ctx context.Context, c *lily.Circuit, req Request) (*Outcome, error) {
 	if req.RenderSVG {
 		var buf bytes.Buffer
@@ -196,6 +217,14 @@ func runPipeline(ctx context.Context, c *lily.Circuit, req Request) (*Outcome, e
 			return nil, err
 		}
 		return &Outcome{Result: res, SVG: buf.Bytes()}, nil
+	}
+	if req.EmitBLIF {
+		var buf bytes.Buffer
+		res, err := lily.WriteMappedBLIFContext(ctx, c, req.Options, &buf)
+		if err != nil {
+			return nil, err
+		}
+		return &Outcome{Result: res, MappedBLIF: buf.Bytes()}, nil
 	}
 	res, err := lily.RunFlowContext(ctx, c, req.Options)
 	if err != nil {
@@ -251,6 +280,11 @@ func (e *Engine) Submit(ctx context.Context, req Request) (*Job, error) {
 		// runGuarded; reject it at the boundary instead.
 		return nil, fmt.Errorf("engine: negative timeout %v", req.Timeout)
 	}
+	if req.RenderSVG && req.EmitBLIF {
+		// Each artifact flag selects a different pipeline entry point;
+		// honouring both would mean running the flow twice per job.
+		return nil, errors.New("engine: RenderSVG and EmitBLIF are mutually exclusive")
+	}
 	circ, blif, err := resolveCircuit(req)
 	if err != nil {
 		return nil, err
@@ -260,7 +294,7 @@ func (e *Engine) Submit(ctx context.Context, req Request) (*Job, error) {
 	j := &Job{
 		id:        fmt.Sprintf("job-%06d", seq),
 		seq:       seq,
-		key:       requestKey(blif, req.Options, req.RenderSVG),
+		key:       requestKey(blif, req.Options, req.RenderSVG, req.EmitBLIF),
 		req:       req,
 		circuit:   circ,
 		ctx:       jctx,
@@ -529,7 +563,7 @@ func (e *Engine) execute(j *Job) {
 		}
 		e.mu.Unlock()
 
-		out, err := e.runGuarded(j)
+		out, err := e.runRemoteOrLocal(j)
 		f.out, f.err = out, err
 		e.mu.Lock()
 		delete(e.inflight, j.key)
@@ -565,6 +599,26 @@ func (e *Engine) markTrivialTrace(j *Job, how string) {
 	root.SetStr("id", j.id)
 	root.SetStr("source", how)
 	root.End()
+}
+
+// runRemoteOrLocal is the singleflight leader's executor: consult the
+// cluster tier first (owner's cache or proxied compute), fall through to
+// the guarded local pipeline. Remote failures are deliberately invisible
+// to the job — the cluster only ever adds capacity, never a failure mode;
+// determinism makes the substitution safe (same digest, same bytes).
+func (e *Engine) runRemoteOrLocal(j *Job) (*Outcome, error) {
+	if e.cfg.Remote != nil && !j.req.LocalOnly {
+		if out, err := e.cfg.Remote(j.ctx, j.key, j.circuit, j.req); err == nil && out != nil {
+			j.markRemoteHit()
+			e.markTrivialTrace(j, "remote")
+			e.mu.Lock()
+			e.stats.RemoteHits++
+			e.mu.Unlock()
+			e.metrics.remoteHits.Inc()
+			return out, nil
+		}
+	}
+	return e.runGuarded(j)
 }
 
 // runGuarded executes the job body under its timeout with panic recovery:

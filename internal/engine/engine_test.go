@@ -353,21 +353,21 @@ func TestKeyNormalization(t *testing.T) {
 	base := lily.FlowOptions{Mapper: lily.MapperLily}
 	weighted := base
 	weighted.WireWeight = 1.0
-	if requestKey(blif, base, false) != requestKey(blif, weighted, false) {
+	if requestKey(blif, base, false, false) != requestKey(blif, weighted, false, false) {
 		t.Fatalf("WireWeight 0 and 1.0 should share a cache key")
 	}
 	reduced := base
 	reduced.WireWeight = 0.5
-	if requestKey(blif, base, false) == requestKey(blif, reduced, false) {
+	if requestKey(blif, base, false, false) == requestKey(blif, reduced, false, false) {
 		t.Fatalf("different wire weights must not collide")
 	}
-	if requestKey(blif, base, false) == requestKey(blif, base, true) {
+	if requestKey(blif, base, false, false) == requestKey(blif, base, true, false) {
 		t.Fatalf("SVG flag must be part of the key")
 	}
 	mis := lily.FlowOptions{Mapper: lily.MapperMIS}
 	misTuned := mis
 	misTuned.ReplaceEvery = 7 // Lily-only knob: ignored by the MIS flow
-	if requestKey(blif, mis, false) != requestKey(blif, misTuned, false) {
+	if requestKey(blif, mis, false, false) != requestKey(blif, misTuned, false, false) {
 		t.Fatalf("Lily-only knobs should normalize away under MIS")
 	}
 }

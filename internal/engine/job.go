@@ -64,6 +64,17 @@ type Request struct {
 	// RenderSVG additionally renders the finished layout as an SVG image
 	// into Outcome.SVG. Part of the cache key.
 	RenderSVG bool
+	// EmitBLIF captures the mapped, placed netlist as SIS-style BLIF into
+	// Outcome.MappedBLIF (the byte stream the golden harness hashes), via
+	// the single-flow pipeline — like WriteMappedBLIF, AutoTune's
+	// portfolio does not apply. Part of the cache key. Mutually exclusive
+	// with RenderSVG.
+	EmitBLIF bool
+	// LocalOnly forces local compute: the engine's Remote hook is skipped.
+	// Set on requests a peer proxied here so routing never chains — the
+	// owner either computes or sheds, it does not forward. Not part of the
+	// cache key (the result is the same bytes either way).
+	LocalOnly bool
 	// Timeout bounds this job's run time, overriding the engine's
 	// DefaultTimeout; 0 means use the default.
 	Timeout time.Duration
@@ -75,6 +86,10 @@ type Outcome struct {
 	Result *lily.FlowResult
 	// SVG is the rendered layout when the request asked for it.
 	SVG []byte
+	// MappedBLIF is the mapped, placed netlist when the request set
+	// EmitBLIF — the deterministic byte stream whose SHA-256 the golden
+	// harness (and the cluster smoke test) pins.
+	MappedBLIF []byte
 }
 
 // Job is a handle on a submitted request.
@@ -105,6 +120,7 @@ type Job struct {
 	err       error
 	cacheHit  bool
 	deduped   bool
+	remoteHit bool
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
@@ -154,12 +170,19 @@ func (j *Job) Trace() []*obs.SpanNode { return j.tracer.Tree() }
 
 // Status is a point-in-time snapshot of a job's lifecycle and metrics.
 type Status struct {
-	ID          string        `json:"id"`
-	State       string        `json:"state"`
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// Digest is the content-addressed request digest (SHA-256 of the
+	// canonical BLIF + normalized options + artifact flags): the cache
+	// key, the singleflight key, and the cluster routing key. Clients and
+	// peers correlate work on it — two jobs with equal digests have
+	// byte-identical outcomes.
+	Digest      string        `json:"digest"`
 	Benchmark   string        `json:"benchmark,omitempty"`
 	Circuit     string        `json:"circuit,omitempty"`
 	CacheHit    bool          `json:"cache_hit,omitempty"`
 	Deduped     bool          `json:"deduped,omitempty"`
+	RemoteHit   bool          `json:"remote_hit,omitempty"`
 	SubmittedAt time.Time     `json:"submitted_at"`
 	StartedAt   time.Time     `json:"started_at"`
 	FinishedAt  time.Time     `json:"finished_at"`
@@ -175,9 +198,11 @@ func (j *Job) Status() Status {
 	st := Status{
 		ID:          j.id,
 		State:       j.state.String(),
+		Digest:      j.key,
 		Benchmark:   j.req.Benchmark,
 		CacheHit:    j.cacheHit,
 		Deduped:     j.deduped,
+		RemoteHit:   j.remoteHit,
 		SubmittedAt: j.submitted,
 		StartedAt:   j.started,
 		FinishedAt:  j.finished,
@@ -236,5 +261,11 @@ func (j *Job) markCacheHit() {
 func (j *Job) markDeduped() {
 	j.mu.Lock()
 	j.deduped = true
+	j.mu.Unlock()
+}
+
+func (j *Job) markRemoteHit() {
+	j.mu.Lock()
+	j.remoteHit = true
 	j.mu.Unlock()
 }

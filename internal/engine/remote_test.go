@@ -1,0 +1,198 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"lily"
+)
+
+// countingRun returns a RunFunc that counts local executions.
+func countingRun(runs *atomic.Int64) RunFunc {
+	return func(ctx context.Context, c *lily.Circuit, req Request) (*Outcome, error) {
+		runs.Add(1)
+		return fakeOutcome(req.Benchmark), nil
+	}
+}
+
+// TestRemoteHitSkipsLocalCompute: when the Remote hook serves an
+// outcome, the local runner must not fire, the job is flagged as a
+// remote hit, and the outcome lands in the local cache so the next
+// identical request is a plain local hit without another remote call.
+func TestRemoteHitSkipsLocalCompute(t *testing.T) {
+	var runs, remotes atomic.Int64
+	remoteOut := &Outcome{Result: &lily.FlowResult{Circuit: "remote", Gates: 42}}
+	e := New(Config{
+		Workers: 1,
+		Run:     countingRun(&runs),
+		Remote: func(ctx context.Context, digest string, c *lily.Circuit, req Request) (*Outcome, error) {
+			remotes.Add(1)
+			if digest == "" || c == nil {
+				t.Errorf("remote hook got digest=%q circuit=%v", digest, c)
+			}
+			return remoteOut, nil
+		},
+	})
+	defer shutdown(t, e)
+
+	ctx := context.Background()
+	req := Request{Benchmark: "misex1"}
+	j, err := e.Submit(ctx, req)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	out, err := j.Wait(ctx)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if out.Result.Gates != 42 {
+		t.Fatalf("got local outcome, want remote: %+v", out.Result)
+	}
+	if runs.Load() != 0 {
+		t.Fatalf("local runner fired %d times despite remote hit", runs.Load())
+	}
+	if st := j.Status(); !st.RemoteHit {
+		t.Fatalf("job not marked remote_hit: %+v", st)
+	}
+	if st := e.Stats(); st.RemoteHits != 1 {
+		t.Fatalf("Stats.RemoteHits = %d, want 1", st.RemoteHits)
+	}
+
+	// Second identical request: local cache, no second remote call.
+	j2, err := e.Submit(ctx, req)
+	if err != nil {
+		t.Fatalf("Submit 2: %v", err)
+	}
+	if _, err := j2.Wait(ctx); err != nil {
+		t.Fatalf("Wait 2: %v", err)
+	}
+	if !j2.Status().CacheHit {
+		t.Fatalf("second job should be a local cache hit: %+v", j2.Status())
+	}
+	if remotes.Load() != 1 {
+		t.Fatalf("remote hook called %d times, want 1", remotes.Load())
+	}
+}
+
+// TestRemoteErrorFallsBackToLocal: a failing remote tier must degrade to
+// local compute — the job succeeds and is not a remote hit. The cluster
+// invariant "remote trouble never fails a job" lives here.
+func TestRemoteErrorFallsBackToLocal(t *testing.T) {
+	var runs atomic.Int64
+	e := New(Config{
+		Workers: 1,
+		Run:     countingRun(&runs),
+		Remote: func(ctx context.Context, digest string, c *lily.Circuit, req Request) (*Outcome, error) {
+			return nil, errors.New("owner unreachable")
+		},
+	})
+	defer shutdown(t, e)
+
+	j, err := e.Submit(context.Background(), Request{Benchmark: "misex1"})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	out, err := j.Wait(context.Background())
+	if err != nil {
+		t.Fatalf("Wait: %v (remote failure must not fail the job)", err)
+	}
+	if out.Result == nil || runs.Load() != 1 {
+		t.Fatalf("want exactly one local run, got %d (result %+v)", runs.Load(), out.Result)
+	}
+	if st := j.Status(); st.RemoteHit {
+		t.Fatalf("fallback job wrongly marked remote_hit")
+	}
+	if st := e.Stats(); st.RemoteHits != 0 {
+		t.Fatalf("Stats.RemoteHits = %d, want 0", st.RemoteHits)
+	}
+}
+
+// TestRemoteDeclineComputesLocally: (nil, nil) is the hook's "this node
+// owns the digest" answer — compute locally, no error, no remote hit.
+func TestRemoteDeclineComputesLocally(t *testing.T) {
+	var runs atomic.Int64
+	e := New(Config{
+		Workers: 1,
+		Run:     countingRun(&runs),
+		Remote: func(ctx context.Context, digest string, c *lily.Circuit, req Request) (*Outcome, error) {
+			return nil, nil
+		},
+	})
+	defer shutdown(t, e)
+
+	j, err := e.Submit(context.Background(), Request{Benchmark: "misex1"})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := j.Wait(context.Background()); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if runs.Load() != 1 || j.Status().RemoteHit {
+		t.Fatalf("decline: runs=%d remoteHit=%v, want 1/false", runs.Load(), j.Status().RemoteHit)
+	}
+}
+
+// TestLocalOnlyBypassesRemote: proxied-in work must never re-forward —
+// that's the cluster's routing-loop guard.
+func TestLocalOnlyBypassesRemote(t *testing.T) {
+	var runs, remotes atomic.Int64
+	e := New(Config{
+		Workers: 1,
+		Run:     countingRun(&runs),
+		Remote: func(ctx context.Context, digest string, c *lily.Circuit, req Request) (*Outcome, error) {
+			remotes.Add(1)
+			return fakeOutcome("never"), nil
+		},
+	})
+	defer shutdown(t, e)
+
+	j, err := e.Submit(context.Background(), Request{Benchmark: "misex1", LocalOnly: true})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := j.Wait(context.Background()); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if remotes.Load() != 0 {
+		t.Fatalf("remote hook consulted %d times for a LocalOnly request", remotes.Load())
+	}
+	if runs.Load() != 1 {
+		t.Fatalf("local runs = %d, want 1", runs.Load())
+	}
+}
+
+// TestSVGEmitBLIFExclusive pins the submit-time validation.
+func TestSVGEmitBLIFExclusive(t *testing.T) {
+	e := New(Config{Workers: 1, Run: countingRun(new(atomic.Int64))})
+	defer shutdown(t, e)
+	_, err := e.Submit(context.Background(), Request{
+		Benchmark: "misex1", RenderSVG: true, EmitBLIF: true,
+	})
+	if err == nil {
+		t.Fatalf("Submit accepted RenderSVG+EmitBLIF")
+	}
+}
+
+// TestEmitBLIFProducesMappedNetlist runs the real pipeline once and
+// checks the artifact plumbing end to end: the outcome carries a
+// non-empty mapped BLIF and the result is intact.
+func TestEmitBLIFProducesMappedNetlist(t *testing.T) {
+	e := New(Config{Workers: 1})
+	defer shutdown(t, e)
+	out, err := e.Run(context.Background(), Request{
+		Benchmark: "misex1",
+		Options:   lily.FlowOptions{Mapper: lily.MapperLily, Objective: lily.ObjectiveArea},
+		EmitBLIF:  true,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(out.MappedBLIF) == 0 {
+		t.Fatalf("EmitBLIF run produced no mapped netlist")
+	}
+	if out.Result == nil || out.Result.Gates == 0 {
+		t.Fatalf("bad result alongside mapped BLIF: %+v", out.Result)
+	}
+}

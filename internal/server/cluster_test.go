@@ -1,0 +1,345 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lily"
+	"lily/internal/cluster"
+	"lily/internal/engine"
+)
+
+// TestCachePeekEndpoint covers the peek protocol solo: malformed digest,
+// clean miss, and a hit that round-trips the mapped netlist.
+func TestCachePeekEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	r, err := http.Get(ts.URL + "/v1/cache/deadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed digest: status = %d, want 400", r.StatusCode)
+	}
+
+	miss := strings.Repeat("0", 64)
+	r, err = http.Get(ts.URL + "/v1/cache/" + miss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown digest: status = %d, want 404", r.StatusCode)
+	}
+
+	// Compute a job with emit_blif; its outcome must then be peekable.
+	resp := postJSON(t, ts.URL+"/v1/jobs", SubmitRequest{
+		Benchmark: "misex1",
+		EmitBLIF:  true,
+		Options:   JobOptions{Mapper: "lily", Objective: "area"},
+	})
+	sub := decode[SubmitResponse](t, resp)
+	var digest string
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		pr, err := http.Get(ts.URL + sub.Status + "?wait=2s")
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := decode[engine.Status](t, pr)
+		if st.State == "done" {
+			digest = st.Digest
+			break
+		}
+		if st.State == "failed" || st.State == "canceled" || time.Now().After(deadline) {
+			t.Fatalf("job did not finish: %+v", st)
+		}
+	}
+	if len(digest) != 64 {
+		t.Fatalf("status digest = %q, want 64 hex chars", digest)
+	}
+
+	r, err = http.Get(ts.URL + "/v1/cache/" + digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("peek after compute: status = %d, want 200", r.StatusCode)
+	}
+	wo := decode[cluster.WireOutcome](t, r)
+	if wo.Digest != digest || wo.Result == nil || len(wo.MappedBLIF) == 0 {
+		t.Fatalf("incomplete peeked outcome: digest=%q result=%v blif=%d bytes",
+			wo.Digest, wo.Result != nil, len(wo.MappedBLIF))
+	}
+}
+
+// TestClusterJobEndpoint covers the proxy protocol solo: a well-formed
+// wire job computes and echoes its digest; a skewed digest answers 409;
+// a job without a circuit answers 400.
+func TestClusterJobEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	circ, err := lily.GenerateBenchmark("misex1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := circ.WriteBLIF(&buf); err != nil {
+		t.Fatal(err)
+	}
+	opt := lily.FlowOptions{Mapper: lily.MapperLily, Objective: lily.ObjectiveArea}
+	digest, err := engine.RequestDigest(engine.Request{BLIF: buf.Bytes(), Options: opt})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp := postJSON(t, ts.URL+"/v1/cluster/jobs", cluster.WireJob{
+		Digest: digest, BLIF: buf.String(), Options: opt,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("wire job: status = %d, want 200", resp.StatusCode)
+	}
+	wo := decode[cluster.WireOutcome](t, resp)
+	if wo.Digest != digest || wo.Result == nil || wo.Result.Gates == 0 {
+		t.Fatalf("bad wire outcome: %+v", wo)
+	}
+
+	resp = postJSON(t, ts.URL+"/v1/cluster/jobs", cluster.WireJob{
+		Digest: strings.Repeat("0", 64), BLIF: buf.String(), Options: opt,
+	})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("skewed digest: status = %d, want 409", resp.StatusCode)
+	}
+
+	resp = postJSON(t, ts.URL+"/v1/cluster/jobs", cluster.WireJob{Digest: digest})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty wire job: status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// clusterNode is one in-process lilyd equivalent: engine + cluster layer
+// + HTTP server, with a swappable handler so the trio's URLs can exist
+// before the servers behind them are built.
+type clusterNode struct {
+	id      string
+	ts      *httptest.Server
+	handler atomic.Value // of handlerBox
+	eng     *engine.Engine
+	clu     *cluster.Cluster
+}
+
+// handlerBox gives atomic.Value a single concrete type to store across
+// handler swaps.
+type handlerBox struct{ h http.Handler }
+
+// newTrio builds a 3-node in-process cluster wired exactly like three
+// lilyd processes with the same membership flags.
+func newTrio(t *testing.T) []*clusterNode {
+	t.Helper()
+	ids := []string{"n1", "n2", "n3"}
+	nodes := make([]*clusterNode, len(ids))
+	for i, id := range ids {
+		n := &clusterNode{id: id}
+		n.handler.Store(handlerBox{http.NotFoundHandler()})
+		n.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			n.handler.Load().(handlerBox).h.ServeHTTP(w, r)
+		}))
+		nodes[i] = n
+	}
+	for i, n := range nodes {
+		var peers []cluster.Node
+		for j, p := range nodes {
+			if j != i {
+				peers = append(peers, cluster.Node{ID: p.id, URL: p.ts.URL})
+			}
+		}
+		clu, err := cluster.New(cluster.Config{
+			Self:          n.id,
+			Peers:         peers,
+			ProbeInterval: 50 * time.Millisecond,
+			PeekTimeout:   2 * time.Second,
+			ProxyTimeout:  60 * time.Second,
+		})
+		if err != nil {
+			t.Fatalf("cluster.New(%s): %v", n.id, err)
+		}
+		n.clu = clu
+		n.eng = engine.New(engine.Config{
+			Workers: 2,
+			Metrics: clu.Registry(),
+			Remote:  clu.Remote,
+		})
+		n.handler.Store(handlerBox{New(n.eng, WithCluster(clu))})
+	}
+	t.Cleanup(func() {
+		for _, n := range nodes {
+			n.ts.Close()
+			n.clu.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			_ = n.eng.Shutdown(ctx)
+			cancel()
+		}
+	})
+	return nodes
+}
+
+// blifOwnedBy fabricates a tiny circuit whose request digest the wanted
+// node owns under the trio's ring.
+// start offsets the search so successive calls find distinct circuits.
+func blifOwnedBy(t *testing.T, ring []string, want string, opt lily.FlowOptions, start int) (string, string) {
+	t.Helper()
+	for i := start; i < start+10000; i++ {
+		src := fmt.Sprintf(".model own%d\n.inputs a b c\n.outputs y\n.names a b t\n11 1\n.names t c y\n10 1\n.end\n", i)
+		d, err := engine.RequestDigest(engine.Request{BLIF: []byte(src), Options: opt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cluster.Owner(d, ring) == want {
+			return src, d
+		}
+	}
+	t.Fatalf("no digest owned by %s in 10000 tries", want)
+	return "", ""
+}
+
+// runJob submits one inline-BLIF job to a node and polls it terminal.
+func runJob(t *testing.T, ts *httptest.Server, blif string) engine.Status {
+	t.Helper()
+	resp := postJSON(t, ts.URL+"/v1/jobs", SubmitRequest{
+		BLIF:    blif,
+		Options: JobOptions{Mapper: "lily", Objective: "area"},
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status = %d, want 202", resp.StatusCode)
+	}
+	sub := decode[SubmitResponse](t, resp)
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		pr, err := http.Get(ts.URL + sub.Status + "?wait=2s")
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := decode[engine.Status](t, pr)
+		if st.State == "done" || st.State == "failed" || st.State == "canceled" {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck: %+v", st)
+		}
+	}
+}
+
+// TestThreeNodeClusterRoutesAndDegrades is the subsystem's end-to-end
+// acceptance at the HTTP level: requests route to their digest's owner,
+// repeat requests hit the owner's cache from any node, stats expose the
+// node identity and tier counters, and a killed owner degrades to local
+// compute (job still succeeds) with the spill visible in /metrics.
+func TestThreeNodeClusterRoutesAndDegrades(t *testing.T) {
+	nodes := newTrio(t)
+	n1, n2, n3 := nodes[0], nodes[1], nodes[2]
+	ring := n1.clu.Nodes()
+	opt := lily.FlowOptions{Mapper: lily.MapperLily, Objective: lily.ObjectiveArea}
+
+	// A job submitted to n1 but owned by n2 must be computed by n2.
+	src, digest := blifOwnedBy(t, ring, "n2", opt, 0)
+	st := runJob(t, n1.ts, src)
+	if st.State != "done" {
+		t.Fatalf("routed job finished %s (%s)", st.State, st.Error)
+	}
+	if st.Digest != digest {
+		t.Fatalf("server digest %s, client-side predicted %s", st.Digest, digest)
+	}
+	if !st.RemoteHit {
+		t.Fatalf("n1 job owned by n2 not served remotely: %+v", st)
+	}
+	if misses := n2.eng.Stats().CacheMisses; misses != 1 {
+		t.Fatalf("owner n2 computed %d jobs, want 1", misses)
+	}
+	if info := n1.clu.Info(); info.Proxied != 1 {
+		t.Fatalf("n1 cluster counters = %+v, want 1 proxied", info)
+	}
+
+	// The same request from n3 must hit n2's cache, not recompute.
+	st = runJob(t, n3.ts, src)
+	if st.State != "done" || !st.RemoteHit {
+		t.Fatalf("n3 repeat not served from owner cache: %+v", st)
+	}
+	if misses := n2.eng.Stats().CacheMisses; misses != 1 {
+		t.Fatalf("owner n2 recomputed: %d misses, want still 1", misses)
+	}
+	if info := n3.clu.Info(); info.RemoteHits != 1 || info.Proxied != 0 {
+		t.Fatalf("n3 cluster counters = %+v, want 1 remote cache hit", info)
+	}
+
+	// /v1/stats carries the node identity, tier counters, and peer health.
+	r, err := http.Get(n3.ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := decode[StatsResponse](t, r)
+	if stats.NodeID != "n3" {
+		t.Fatalf("stats node_id = %q, want n3", stats.NodeID)
+	}
+	if stats.CacheTier.RemoteHits != 1 || stats.CacheTier.LocalHits != 0 {
+		t.Fatalf("stats cache_tier = %+v, want 1 remote hit", stats.CacheTier)
+	}
+	if stats.Cluster == nil || stats.Cluster.Self != "n3" || len(stats.Cluster.Peers) != 2 {
+		t.Fatalf("stats cluster block = %+v", stats.Cluster)
+	}
+
+	// Kill the owner: a fresh n2-owned digest must still complete (local
+	// or next-in-rank compute — never a failed job) and the spill must be
+	// observable.
+	n2.ts.Close()
+	src2, _ := blifOwnedBy(t, ring, "n2", opt, 10000)
+	st = runJob(t, n1.ts, src2)
+	if st.State != "done" {
+		t.Fatalf("job with dead owner finished %s (%s), want done", st.State, st.Error)
+	}
+	if spills := n1.clu.Info().Spills; spills == 0 {
+		t.Fatalf("dead owner produced no spill on n1")
+	}
+	mr, err := http.Get(n1.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mr.Body.Close()
+	var metrics bytes.Buffer
+	if _, err := metrics.ReadFrom(mr.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := metrics.String()
+	for _, want := range []string{"lily_cluster_spills_total", "lily_cluster_peer_up", "lily_cluster_proxied_total"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %s", want)
+		}
+	}
+
+	// The probes notice the death: n2 flips to down in n1's peer view.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		up := false
+		for _, p := range n1.clu.Info().Peers {
+			if p.ID == "n2" {
+				up = p.Up
+			}
+		}
+		if !up {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("n1 never marked dead n2 down")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
