@@ -7,8 +7,11 @@
 // The suite enforces the invariants documented in DESIGN.md: map
 // iteration determinism in mapping packages (maporder), context
 // cancellation in long-running loops (ctxloop), float-equality hygiene
-// in cost packages (floateq), and lock discipline for methods
-// documented `requires e.mu` (lockheld).
+// in cost packages (floateq), lock discipline for methods documented
+// `requires e.mu` (lockheld), plus three cross-package analyzers over
+// the whole-program call graph: the determinism fence (purity),
+// goroutine stop paths (goleak), and HTTP response discipline
+// (httpcontract).
 //
 // Exit codes: 0 clean, 1 findings, 2 operational error.
 package main
@@ -52,7 +55,15 @@ func run(argv []string) int {
 				if i := strings.IndexByte(doc, '\n'); i >= 0 {
 					doc = doc[:i]
 				}
-				fmt.Fprintf(os.Stderr, "  %-10s %s\n", an.Name, doc)
+				fmt.Fprintf(os.Stderr, "  %-12s %s\n", an.Name, doc)
+			}
+			fmt.Fprintf(os.Stderr, "\nCross-package analyzers (whole-program call graph):\n")
+			for _, an := range lint.ProgramAnalyzers {
+				doc := an.Doc
+				if i := strings.IndexByte(doc, '\n'); i >= 0 {
+					doc = doc[:i]
+				}
+				fmt.Fprintf(os.Stderr, "  %-12s %s\n", an.Name, doc)
 			}
 			return 0
 		}

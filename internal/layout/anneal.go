@@ -78,6 +78,7 @@ func annealRows(nl *netlist.Netlist, rows []*row, lib *library.Library, cfg anne
 		mean /= float64(len(nets))
 	}
 	temp := cfg.t0 * math.Max(mean, 1)
+	//lint:impure generator is seeded from cfg.seed (fixed per flow run), so the move sequence is reproducible
 	rng := rand.New(rand.NewSource(cfg.seed))
 
 	for step := 0; step < cfg.steps; step++ {

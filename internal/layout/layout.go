@@ -223,8 +223,11 @@ func buildRows(nl *netlist.Netlist, lib *library.Library) []*row {
 	}
 	sort.SliceStable(order, func(a, b int) bool {
 		pa, pb := nl.Cells[order[a]].Pos, nl.Cells[order[b]].Pos
-		if pa.Y != pb.Y {
-			return pa.Y < pb.Y
+		if pa.Y < pb.Y {
+			return true
+		}
+		if pa.Y > pb.Y {
+			return false
 		}
 		return pa.X < pb.X
 	})
@@ -459,8 +462,11 @@ func channelDensities(nl *netlist.Netlist, rows []*row, lib *library.Library, ch
 			evs = append(evs, ev{s.lo, 1}, ev{s.hi, -1})
 		}
 		sort.Slice(evs, func(a, b int) bool {
-			if evs[a].x != evs[b].x {
-				return evs[a].x < evs[b].x
+			if evs[a].x < evs[b].x {
+				return true
+			}
+			if evs[a].x > evs[b].x {
+				return false
 			}
 			return evs[a].delta > evs[b].delta // open before close at ties
 		})

@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+const cgSrc = `package cg
+
+type Shape interface{ Area() float64 }
+
+type Square struct{ s float64 }
+
+func (q Square) Area() float64 { return q.s * q.s }
+
+type Circle struct{ r float64 }
+
+func (c Circle) Area() float64 { return 3.0 * c.r * c.r }
+
+func total(shapes []Shape) float64 {
+	sum := 0.0
+	for _, s := range shapes {
+		sum += s.Area()
+	}
+	return sum
+}
+
+func helper() int { return 1 }
+
+func viaValue() int {
+	f := helper
+	return f()
+}
+
+func inClosure() {
+	g := func() { helper() }
+	g()
+}
+
+func orphan() {}
+
+func root() {
+	_ = total(nil)
+	_ = viaValue()
+	inClosure()
+}
+`
+
+// loadTestPkg type-checks one import-free source file as a Package.
+func loadTestPkg(t *testing.T, path, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path+".go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &Package{Path: path, Fset: fset}
+	pkg.Files = append(pkg.Files, f)
+	pkg.Info = newInfo()
+	conf := types.Config{}
+	tpkg, err := conf.Check(path, fset, pkg.Files, pkg.Info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg.Types = tpkg
+	return pkg
+}
+
+func calleeNames(n *CGNode) map[string]bool {
+	out := make(map[string]bool)
+	for _, fn := range n.Callees() {
+		out[fn.FullName()] = true
+	}
+	return out
+}
+
+func TestCallGraphEdges(t *testing.T) {
+	pkg := loadTestPkg(t, "cg", cgSrc)
+	prog := BuildProgram([]*Package{pkg})
+	g := prog.Graph
+
+	rootFn := g.FuncByName("cg.root")
+	if rootFn == nil {
+		t.Fatal("cg.root not found")
+	}
+	rootCallees := calleeNames(g.Node(rootFn))
+	for _, want := range []string{"cg.total", "cg.viaValue", "cg.inClosure"} {
+		if !rootCallees[want] {
+			t.Errorf("root is missing static edge to %s (has %v)", want, rootCallees)
+		}
+	}
+
+	// Interface dispatch resolves to every implementing type (CHA).
+	totalCallees := calleeNames(g.Node(g.FuncByName("cg.total")))
+	for _, want := range []string{"(cg.Square).Area", "(cg.Circle).Area"} {
+		if !totalCallees[want] {
+			t.Errorf("total is missing interface edge to %s (has %v)", want, totalCallees)
+		}
+	}
+
+	// A call through a function value links to the address-taken target.
+	viaCallees := calleeNames(g.Node(g.FuncByName("cg.viaValue")))
+	if !viaCallees["cg.helper"] {
+		t.Errorf("viaValue is missing dynamic edge to cg.helper (has %v)", viaCallees)
+	}
+
+	// Calls inside a closure belong to the declaring function.
+	closureCallees := calleeNames(g.Node(g.FuncByName("cg.inClosure")))
+	if !closureCallees["cg.helper"] {
+		t.Errorf("inClosure is missing closure-attributed edge to cg.helper (has %v)", closureCallees)
+	}
+}
+
+func TestCallGraphReachable(t *testing.T) {
+	pkg := loadTestPkg(t, "cg", cgSrc)
+	g := BuildProgram([]*Package{pkg}).Graph
+
+	reach := g.Reachable([]*types.Func{g.FuncByName("cg.root")}, nil)
+	names := make(map[string]bool)
+	for fn := range reach {
+		names[fn.FullName()] = true
+	}
+	for _, want := range []string{
+		"cg.root", "cg.total", "cg.viaValue", "cg.inClosure", "cg.helper",
+		"(cg.Square).Area", "(cg.Circle).Area",
+	} {
+		if !names[want] {
+			t.Errorf("%s should be reachable from root (got %v)", want, names)
+		}
+	}
+	if names["cg.orphan"] {
+		t.Error("cg.orphan is not called by anything yet appears reachable")
+	}
+
+	// skip prunes traversal.
+	reach = g.Reachable([]*types.Func{g.FuncByName("cg.root")}, func(n *CGNode) bool {
+		return n.Fn.Name() == "viaValue"
+	})
+	for fn := range reach {
+		if fn.FullName() == "cg.viaValue" {
+			t.Error("skipped node appears in reachable set")
+		}
+	}
+
+	// helper is still reachable through inClosure even with viaValue cut.
+	found := false
+	for fn := range reach {
+		if fn.FullName() == "cg.helper" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("cg.helper should stay reachable through inClosure")
+	}
+}
+
+func TestFuncsInPackageSorted(t *testing.T) {
+	pkg := loadTestPkg(t, "cg", cgSrc)
+	g := BuildProgram([]*Package{pkg}).Graph
+	fns := g.FuncsInPackage("cg")
+	if len(fns) == 0 {
+		t.Fatal("no functions found in cg")
+	}
+	for i := 1; i < len(fns); i++ {
+		if fns[i-1].FullName() >= fns[i].FullName() {
+			t.Fatalf("FuncsInPackage not sorted: %s before %s", fns[i-1].FullName(), fns[i].FullName())
+		}
+	}
+	if g.FuncByName("cg.nosuch") != nil {
+		t.Error("FuncByName invented a function")
+	}
+}

@@ -30,27 +30,34 @@ var FloatEqAnalyzer = &Analyzer{
 
 func runFloatEq(pass *Pass) error {
 	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			bin, ok := n.(*ast.BinaryExpr)
-			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
-				return true
-			}
-			if !isFloatExpr(pass, bin.X) || !isFloatExpr(pass, bin.Y) {
-				return true
-			}
-			if isConstExpr(pass, bin.X) || isConstExpr(pass, bin.Y) {
-				return true // sentinel comparison against a compile-time constant
-			}
-			if sameIdentChain(bin.X, bin.Y) {
-				return true // NaN self-check
-			}
-			pass.Reportf(bin.Pos(),
-				"compare with an epsilon (math.Abs(a-b) < eps) or use the tie-break helpers; add `//lint:exact <why>` only for genuinely exact values",
-				"exact %s between float expressions in cost code is order/rounding sensitive", bin.Op)
-			return true
-		})
+		checkFloatEq(pass, f)
 	}
 	return nil
+}
+
+// checkFloatEq flags exact float ==/!= under root. It is shared with the
+// purity program analyzer, which applies it to every function reachable
+// from the deterministic root set regardless of package.
+func checkFloatEq(pass *Pass, root ast.Node) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+			return true
+		}
+		if !isFloatExpr(pass, bin.X) || !isFloatExpr(pass, bin.Y) {
+			return true
+		}
+		if isConstExpr(pass, bin.X) || isConstExpr(pass, bin.Y) {
+			return true // sentinel comparison against a compile-time constant
+		}
+		if sameIdentChain(bin.X, bin.Y) {
+			return true // NaN self-check
+		}
+		pass.Reportf(bin.Pos(),
+			"compare with an epsilon (math.Abs(a-b) < eps) or use the tie-break helpers; add `//lint:exact <why>` only for genuinely exact values",
+			"exact %s between float expressions in cost code is order/rounding sensitive", bin.Op)
+		return true
+	})
 }
 
 func isFloatExpr(pass *Pass, e ast.Expr) bool {

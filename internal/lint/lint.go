@@ -1,7 +1,9 @@
 // Package lint is lily's domain-specific static-analysis suite: a small
 // stdlib-only reimplementation of the golang.org/x/tools/go/analysis
-// vocabulary (Analyzer, Pass, Diagnostic) plus four analyzers that turn
-// the repo's determinism house rules into mechanically checked invariants:
+// vocabulary (Analyzer, Pass, Diagnostic) plus seven analyzers that turn
+// the repo's determinism house rules into mechanically checked invariants.
+//
+// Four are per-package checks:
 //
 //   - maporder: no order-dependent iteration over Go maps in the
 //     deterministic mapping packages (map iteration order is randomized;
@@ -15,18 +17,34 @@
 //   - lockheld: methods documented "requires x.mu" must only be called
 //     with the mutex held, and sync.Mutex values must not be copied.
 //
-// The suite runs three ways: the lint.Analyzers slice feeds the
-// cmd/lilylint multichecker (standalone package patterns), the same
-// binary speaks the `go vet -vettool` unitchecker protocol, and the
+// Three are cross-package ProgramAnalyzers over the whole-program CHA
+// call graph (callgraph.go):
+//
+//   - purity: the determinism fence — nothing reachable from the
+//     mapping pipeline's root set may read the wall clock, the process
+//     environment, or global rand, iterate a map unordered, or compare
+//     floats exactly.
+//   - goleak: every `go` statement in engine/cluster/server needs a
+//     provable stop path (signal-channel receive or WaitGroup pairing).
+//   - httpcontract: HTTP handlers write exactly one status per path,
+//     429s carry Retry-After, and no body follows an error status.
+//
+// The suite runs three ways: the lint.Analyzers and lint.ProgramAnalyzers
+// slices feed the cmd/lilylint multichecker (standalone package
+// patterns), the same binary speaks the `go vet -vettool` unitchecker
+// protocol (program analyzers run at their anchor units), and the
 // package's own TestAllAnalyzers self-run keeps the tree lint-clean as
 // part of `go test ./...`.
 //
 // Diagnostics can be suppressed with a justification comment on the
 // flagged line (or the line above): `//lint:sorted <why>` (maporder),
 // `//lint:bounded <why>` (ctxloop), `//lint:exact <why>` (floateq),
-// `//lint:locked <why>` (lockheld). The justification word is the
-// analyzer's invariant, not its name: the comment asserts the invariant
-// holds for reasons the analyzer cannot see.
+// `//lint:locked <why>` (lockheld), `//lint:impure <why>` (purity),
+// `//lint:stopped <why>` (goleak), `//lint:response <why>`
+// (httpcontract). The justification word is the analyzer's invariant,
+// not its name: the comment asserts the invariant holds for reasons the
+// analyzer cannot see. For the three program analyzers the <why> text
+// is mandatory — a bare marker suppresses nothing.
 package lint
 
 import (
@@ -155,6 +173,9 @@ var DeterministicPackages = []string{
 	"internal/place", "internal/wire", "internal/timing", "internal/fanout",
 	"internal/layout", "internal/opt", "internal/mis", "internal/core",
 	"internal/netlist", "internal/library", "internal/equiv",
+	// cluster replays jobs through the shared result cache; an
+	// order-dependent walk there reorders batch scheduling decisions.
+	"internal/cluster",
 }
 
 // CostPackages lists the packages computing float costs and arrival

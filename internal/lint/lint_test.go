@@ -33,6 +33,22 @@ func TestLockHeld(t *testing.T) {
 	linttest.Run(t, lint.LockHeldAnalyzer, fixture(t, "lockheld"))
 }
 
+func TestPurity(t *testing.T) {
+	a := lint.PurityAnalyzerFor(lint.PurityConfig{
+		RootFuncs: []string{"purity.Root"},
+		Anchors:   []string{"purity"},
+	})
+	linttest.RunProgram(t, a, fixture(t, "purity"))
+}
+
+func TestGoLeak(t *testing.T) {
+	linttest.RunProgram(t, lint.GoLeakAnalyzerFor("goleak"), fixture(t, "goleak"))
+}
+
+func TestHTTPContract(t *testing.T) {
+	linttest.RunProgram(t, lint.HTTPContractAnalyzerFor("httpcontract"), fixture(t, "httpcontract"))
+}
+
 func TestAnalyzersForScoping(t *testing.T) {
 	names := func(as []*lint.Analyzer) []string {
 		out := make([]string, len(as))
@@ -47,6 +63,7 @@ func TestAnalyzersForScoping(t *testing.T) {
 	}{
 		{"lily/internal/cover", []string{"ctxloop", "floateq", "lockheld", "maporder"}},
 		{"lily/internal/opt", []string{"ctxloop", "lockheld", "maporder"}},
+		{"lily/internal/cluster", []string{"ctxloop", "lockheld", "maporder"}},
 		{"lily/internal/engine", []string{"ctxloop", "lockheld"}},
 		{"lily/internal/server", []string{"ctxloop", "lockheld"}},
 		{"lily", []string{"ctxloop", "lockheld"}},

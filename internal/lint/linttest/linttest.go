@@ -48,11 +48,38 @@ func Run(t *testing.T, a *lint.Analyzer, dir string) {
 	if err != nil {
 		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
 	}
+	compare(t, pkg, findings)
+}
+
+// RunProgram executes one cross-package analyzer over the fixture
+// directory (loaded as a one-package program) and compares its
+// diagnostics against the `// want` annotations. The analyzer should be
+// built by its *For constructor with the fixture's package path (the
+// directory base name) standing in for the real anchors and roots.
+func RunProgram(t *testing.T, a *lint.ProgramAnalyzer, dir string) {
+	t.Helper()
+	pkg, err := loadFixture(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("fixture %s has type errors: %v", dir, pkg.TypeErrors)
+	}
+	prog := lint.BuildProgram([]*lint.Package{pkg})
+	findings, err := lint.RunProgramAnalyzers(prog, []*lint.ProgramAnalyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	compare(t, pkg, findings)
+}
+
+// compare checks findings against the fixture's want annotations.
+func compare(t *testing.T, pkg *lint.Package, findings []lint.Finding) {
+	t.Helper()
 	expects, err := collectExpectations(pkg.Fset, pkg.Files)
 	if err != nil {
-		t.Fatalf("parsing want comments in %s: %v", dir, err)
+		t.Fatalf("parsing want comments: %v", err)
 	}
-
 	for _, f := range findings {
 		if !matchExpectation(expects, f) {
 			t.Errorf("unexpected diagnostic:\n%s", f)

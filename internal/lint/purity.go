@@ -1,0 +1,221 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// PurityConfig declares the determinism fence: which functions seed the
+// reachability walk, and which packages are exempt from it.
+type PurityConfig struct {
+	// RootPackages are import paths whose every declared function is a
+	// root of the reachable set.
+	RootPackages []string
+	// RootFuncs are additional roots by FullName, e.g. "lily.RunFlowContext"
+	// or "lily/internal/core.mapPlaced". A listed root that does not
+	// resolve is an error: the fence must not silently shrink when a
+	// root is renamed.
+	RootFuncs []string
+	// ExemptPackages are never entered nor scanned (observability reads
+	// the wall clock by design and feeds no mapping decision).
+	ExemptPackages []string
+	// Anchors seed ProgramAnalyzer.Anchors for the constructed analyzer.
+	Anchors []string
+}
+
+// defaultPurityConfig is the shipped fence: everything the mapping
+// pipeline can execute. The cost packages (cover, wire, timing, place)
+// plus opt are roots wholesale; mapPlaced and RunFlowContext pull in the
+// rest of the flow (core match enumeration, decomposition, netlist
+// construction, layout, routing).
+var defaultPurityConfig = PurityConfig{
+	RootPackages: []string{
+		ModulePath + "/internal/cover",
+		ModulePath + "/internal/wire",
+		ModulePath + "/internal/timing",
+		ModulePath + "/internal/place",
+		ModulePath + "/internal/opt",
+	},
+	RootFuncs: []string{
+		ModulePath + ".RunFlowContext",
+		ModulePath + "/internal/core.mapPlaced",
+	},
+	ExemptPackages: []string{
+		ModulePath + "/internal/obs",
+	},
+	Anchors: []string{ModulePath},
+}
+
+// DefaultPurityConfig returns the shipped fence configuration, so tests
+// can rebuild the analyzer's view (roots, exemptions) independently.
+func DefaultPurityConfig() PurityConfig { return defaultPurityConfig }
+
+// PurityAnalyzer is the determinism fence over the mapping pipeline.
+// Every function reachable from the root set (the cover DP, wire/timing
+// estimators, placement, optimization, and the whole flow behind
+// RunFlowContext) must be deterministic: no wall clock, no process
+// environment, no global rand, no unordered map iteration, no exact
+// float comparison. See PurityAnalyzerFor for the rules.
+var PurityAnalyzer = PurityAnalyzerFor(defaultPurityConfig)
+
+// PurityAnalyzerFor builds a purity analyzer for the given fence. The
+// rules, applied to every reachable function:
+//
+//   - calling or referencing time.Now, time.Since, time.Until,
+//     os.Getenv, os.LookupEnv, os.Environ, or any package-level function
+//     of math/rand or math/rand/v2 is flagged. Methods on an explicit
+//     *rand.Rand are allowed: constructing the generator via
+//     rand.New(rand.NewSource(seed)) is itself flagged, so every
+//     generator's seed provenance is documented at exactly one
+//     `//lint:impure` site;
+//   - ranging over a map is flagged unless the body is provably
+//     order-insensitive or carries `//lint:sorted` (the maporder proof
+//     engine is reused verbatim);
+//   - exact float ==/!= is flagged under the floateq rules, everywhere
+//     reachable, not just in the blessed cost packages.
+//
+// `//lint:impure <why>` on the offending line (or the line above)
+// suppresses any purity finding; the why text is mandatory.
+func PurityAnalyzerFor(cfg PurityConfig) *ProgramAnalyzer {
+	a := &ProgramAnalyzer{
+		Name:          "purity",
+		Doc:           "determinism fence: no clock/rand/env/map-order/float-eq reachable from the mapping pipeline",
+		Justification: "impure",
+		Anchors:       cfg.Anchors,
+	}
+	a.Run = func(pass *ProgramPass) error { return runPurity(pass, cfg) }
+	return a
+}
+
+func runPurity(pass *ProgramPass, cfg PurityConfig) error {
+	g := pass.Prog.Graph
+
+	roots, err := purityRoots(g, cfg)
+	if err != nil {
+		return err
+	}
+
+	exempt := make(map[string]bool, len(cfg.ExemptPackages))
+	for _, p := range cfg.ExemptPackages {
+		exempt[p] = true
+	}
+	skip := func(n *CGNode) bool {
+		return n.Pkg != nil && exempt[n.Pkg.Path]
+	}
+
+	reach := g.Reachable(roots, skip)
+
+	// Scan in deterministic order. The per-package shim passes borrow
+	// the maporder and floateq helpers so `//lint:sorted` / `//lint:exact`
+	// keep working inside the fence, with `//lint:impure` accepted as
+	// the uniform escape hatch on top.
+	sortedShim := &Analyzer{Name: "purity", Justification: "sorted"}
+	exactShim := &Analyzer{Name: "purity", Justification: "exact"}
+	shims := make(map[*Package][2]*Pass)
+
+	var nodes []*CGNode
+	for _, n := range reach {
+		if n.Decl != nil && n.Decl.Body != nil {
+			nodes = append(nodes, n)
+		}
+	}
+	//lint:sorted collect-then-sort: scan order pinned by FullName
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Fn.FullName() < nodes[j].Fn.FullName() })
+
+	for _, n := range nodes {
+		pair, ok := shims[n.Pkg]
+		if !ok {
+			pair = [2]*Pass{
+				pass.packagePass(n.Pkg, sortedShim),
+				pass.packagePass(n.Pkg, exactShim),
+			}
+			shims[n.Pkg] = pair
+		}
+		checkImpureRefs(pass, n)
+		mapOrderVisitFunc(pair[0], n.Decl.Body)
+		checkFloatEq(pair[1], n.Decl.Body)
+	}
+	return nil
+}
+
+// purityRoots resolves the configured root set, failing loudly when a
+// named root or root package is missing from the program.
+func purityRoots(g *CallGraph, cfg PurityConfig) ([]*types.Func, error) {
+	var roots []*types.Func
+	for _, p := range cfg.RootPackages {
+		fns := g.FuncsInPackage(p)
+		if len(fns) == 0 {
+			return nil, fmt.Errorf("purity: root package %q has no functions in the loaded program", p)
+		}
+		roots = append(roots, fns...)
+	}
+	for _, name := range cfg.RootFuncs {
+		fn := g.FuncByName(name)
+		if fn == nil {
+			return nil, fmt.Errorf("purity: root function %q not found in the loaded program", name)
+		}
+		roots = append(roots, fn)
+	}
+	if len(roots) == 0 {
+		return nil, fmt.Errorf("purity: empty root set")
+	}
+	return roots, nil
+}
+
+// impureDenied reports whether fn is one of the denylisted sources of
+// nondeterminism, and names the offense.
+func impureDenied(fn *types.Func) (string, bool) {
+	switch {
+	case stdFuncIs(fn, "time", "Now"),
+		stdFuncIs(fn, "time", "Since"),
+		stdFuncIs(fn, "time", "Until"):
+		return "wall clock (time." + fn.Name() + ")", true
+	case stdFuncIs(fn, "os", "Getenv"),
+		stdFuncIs(fn, "os", "LookupEnv"),
+		stdFuncIs(fn, "os", "Environ"):
+		return "process environment (os." + fn.Name() + ")", true
+	case stdPkgFunc(fn, "math/rand"):
+		// Package-level functions only: the global generator's seed is
+		// process state. Methods on an explicit *rand.Rand pass, because
+		// the rand.New construction site is where the seed is justified.
+		return "global rand (" + fn.Pkg().Path() + "." + fn.Name() + ")", true
+	}
+	return "", false
+}
+
+// checkImpureRefs flags every use (call or value reference) of a
+// denylisted function inside n's declaration.
+func checkImpureRefs(pass *ProgramPass, n *CGNode) {
+	info := n.Pkg.Info
+	var visit func(node ast.Node) bool
+	visit = func(node ast.Node) bool {
+		switch e := node.(type) {
+		case *ast.SelectorExpr:
+			if fn, ok := info.Uses[e.Sel].(*types.Func); ok {
+				if what, bad := impureDenied(fn); bad {
+					reportImpure(pass, e.Pos(), n, what)
+				}
+			}
+			// Descend only into X: the Sel ident would double-report.
+			ast.Inspect(e.X, visit)
+			return false
+		case *ast.Ident:
+			if fn, ok := info.Uses[e].(*types.Func); ok {
+				if what, bad := impureDenied(fn); bad {
+					reportImpure(pass, e.Pos(), n, what)
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(n.Decl.Body, visit)
+}
+
+func reportImpure(pass *ProgramPass, pos token.Pos, n *CGNode, what string) {
+	pass.Reportf(pos,
+		"thread the value in as data (config field, parameter, injected seed) or add `//lint:impure <why>` documenting why this cannot affect mapping results",
+		"%s reachable from the deterministic root set via %s", what, n.Fn.FullName())
+}

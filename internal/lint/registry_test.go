@@ -1,0 +1,67 @@
+package lint
+
+import "testing"
+
+// TestDriverRegistriesMatch pins the vet-mode registration list in
+// unit.go to the package registry, so the standalone binary and
+// `go vet -vettool=lilylint` can never expose different analyzer sets.
+func TestDriverRegistriesMatch(t *testing.T) {
+	if len(vetProgramAnalyzers) != len(ProgramAnalyzers) {
+		t.Fatalf("vet driver registers %d program analyzers, package registry has %d",
+			len(vetProgramAnalyzers), len(ProgramAnalyzers))
+	}
+	for i, a := range vetProgramAnalyzers {
+		if a != ProgramAnalyzers[i] {
+			t.Errorf("vet registration %d is %q, package registry has %q",
+				i, a.Name, ProgramAnalyzers[i].Name)
+		}
+	}
+}
+
+// TestEveryAnalyzerScopedSomewhere asserts every registered per-package
+// analyzer is actually applied to at least one module package by the
+// scoping function both drivers share — a registry entry that no scope
+// returns would silently never run.
+func TestEveryAnalyzerScopedSomewhere(t *testing.T) {
+	applied := make(map[*Analyzer]bool)
+	paths := []string{ModulePath}
+	for _, rel := range DeterministicPackages {
+		paths = append(paths, ModulePath+"/"+rel)
+	}
+	for _, rel := range CostPackages {
+		paths = append(paths, ModulePath+"/"+rel)
+	}
+	for _, p := range paths {
+		for _, a := range AnalyzersFor(p) {
+			applied[a] = true
+		}
+	}
+	for _, a := range Analyzers {
+		if !applied[a] {
+			t.Errorf("analyzer %q is registered but no package scope applies it", a.Name)
+		}
+	}
+}
+
+// TestProgramAnalyzersForAnchors exercises anchor triggering: each
+// program analyzer runs exactly when one of its anchors is requested.
+func TestProgramAnalyzersForAnchors(t *testing.T) {
+	names := func(as []*ProgramAnalyzer) []string {
+		out := make([]string, len(as))
+		for i, a := range as {
+			out[i] = a.Name
+		}
+		return out
+	}
+	got := names(ProgramAnalyzersFor([]string{ModulePath}))
+	if len(got) != 1 || got[0] != "purity" {
+		t.Errorf("ProgramAnalyzersFor(module root) = %v, want [purity]", got)
+	}
+	got = names(ProgramAnalyzersFor([]string{ModulePath + "/internal/server"}))
+	if len(got) != 2 {
+		t.Errorf("ProgramAnalyzersFor(server) = %v, want goleak+httpcontract", got)
+	}
+	if got := ProgramAnalyzersFor([]string{ModulePath + "/internal/cover"}); len(got) != 0 {
+		t.Errorf("ProgramAnalyzersFor(cover) = %v, want none", names(got))
+	}
+}

@@ -1,6 +1,9 @@
 package lint_test
 
 import (
+	"go/types"
+	"io/fs"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -57,5 +60,203 @@ func TestAllAnalyzers(t *testing.T) {
 	}
 	if !sawDeterministic {
 		t.Error("self-run never visited internal/cover; package walk is broken")
+	}
+
+	// The cross-package suite runs over the same load: the whole tree
+	// must be clean under purity, goleak, and httpcontract too.
+	prog := lint.BuildProgram(pkgs)
+	progFindings, err := lint.RunProgramAnalyzers(prog, lint.ProgramAnalyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range progFindings {
+		t.Errorf("%s", f)
+	}
+}
+
+// loadProgram loads the whole module and builds the call graph.
+func loadProgram(t *testing.T, root string) *lint.Program {
+	t.Helper()
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lint.BuildProgram(pkgs)
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// TestPurityRootSetReachability proves the fence actually spans the
+// mapping pipeline: the whole-flow entry points and cost kernels must
+// pull a large multi-package closure into the reachable set. If a root
+// rename or a call-graph regression shrank the fence, this fails before
+// any nondeterminism could hide in the gap.
+func TestPurityRootSetReachability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	prog := loadProgram(t, moduleRoot(t))
+	g := prog.Graph
+	cfg := lint.DefaultPurityConfig()
+
+	var roots []*types.Func
+	for _, p := range cfg.RootPackages {
+		fns := g.FuncsInPackage(p)
+		if len(fns) == 0 {
+			t.Fatalf("root package %s resolved no functions", p)
+		}
+		roots = append(roots, fns...)
+	}
+	for _, name := range cfg.RootFuncs {
+		fn := g.FuncByName(name)
+		if fn == nil {
+			t.Fatalf("root function %s not found — the fence silently shrank", name)
+		}
+		roots = append(roots, fn)
+	}
+
+	exempt := make(map[string]bool)
+	for _, p := range cfg.ExemptPackages {
+		exempt[p] = true
+	}
+	reach := g.Reachable(roots, func(n *lint.CGNode) bool {
+		return n.Pkg != nil && exempt[n.Pkg.Path]
+	})
+
+	pkgsSeen := make(map[string]bool)
+	for _, n := range reach {
+		if n.Pkg != nil {
+			pkgsSeen[n.Pkg.Path] = true
+		}
+	}
+	// The flow behind RunFlowContext must reach the core mapper, logic
+	// decomposition, netlist construction, and layout.
+	for _, want := range []string{
+		"lily/internal/core", "lily/internal/logic", "lily/internal/decomp",
+		"lily/internal/netlist", "lily/internal/layout", "lily/internal/cover",
+		"lily/internal/wire", "lily/internal/timing", "lily/internal/place",
+	} {
+		if !pkgsSeen[want] {
+			t.Errorf("package %s is not reachable from the purity root set; the fence has a hole", want)
+		}
+	}
+	if pkgsSeen["lily/internal/obs"] {
+		t.Error("exempt package lily/internal/obs appears in the reachable set")
+	}
+}
+
+// TestPurityCatchesMutations is the negative proof the fence demands:
+// injecting a time.Now() call into internal/wire and deleting a
+// `//lint:sorted` justification in internal/core must both produce
+// purity findings. The module is copied into a temp dir, mutated there,
+// reloaded, and re-analyzed — the working tree is never touched.
+func TestPurityCatchesMutations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks a module copy; skipped in -short")
+	}
+	tmp := t.TempDir()
+	copyModule(t, moduleRoot(t), tmp)
+
+	// Mutation 1: a wall-clock read in internal/wire. Every wire
+	// function is a purity root, so it is reachable by construction.
+	injected := filepath.Join(tmp, "internal", "wire", "zz_injected.go")
+	src := "package wire\n\nimport \"time\"\n\n" +
+		"func injectedWallClock() time.Time { return time.Now() }\n"
+	if err := os.WriteFile(injected, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mutation 2: delete the first //lint:sorted justification in
+	// internal/core/core.go, un-suppressing an order-dependent map range
+	// inside the mapper.
+	corePath := filepath.Join(tmp, "internal", "core", "core.go")
+	data, err := os.ReadFile(corePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(string(data), "\n")
+	removed := false
+	for i, l := range lines {
+		if strings.Contains(l, "//lint:sorted") {
+			lines = append(lines[:i], lines[i+1:]...)
+			removed = true
+			break
+		}
+	}
+	if !removed {
+		t.Fatal("internal/core/core.go carries no //lint:sorted annotation to delete; update the mutation")
+	}
+	if err := os.WriteFile(corePath, []byte(strings.Join(lines, "\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	prog := loadProgram(t, tmp)
+	findings, err := lint.RunProgramAnalyzers(prog, []*lint.ProgramAnalyzer{lint.PurityAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawWire, sawCore := false, false
+	for _, f := range findings {
+		if strings.Contains(f.Posn.Filename, "zz_injected.go") && strings.Contains(f.Message, "wall clock") {
+			sawWire = true
+		}
+		if strings.HasSuffix(f.Posn.Filename, filepath.Join("internal", "core", "core.go")) &&
+			strings.Contains(f.Message, "order-dependent") {
+			sawCore = true
+		}
+	}
+	if !sawWire {
+		t.Error("purity missed the injected time.Now() in internal/wire")
+	}
+	if !sawCore {
+		t.Error("purity missed the un-justified map range in internal/core")
+	}
+}
+
+// copyModule copies go.mod and every non-test Go file of the module at
+// src into dst, preserving the directory layout.
+func copyModule(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.WalkDir(src, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != src && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "bin") {
+				return fs.SkipDir
+			}
+			return nil
+		}
+		if name != "go.mod" && (!strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go")) {
+			return nil
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		out := filepath.Join(dst, rel)
+		if err := os.MkdirAll(filepath.Dir(out), 0o755); err != nil {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(out, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,0 +1,63 @@
+// Package goleak is the fixture for the goleak program analyzer: every
+// `go` statement needs a provable stop path or a justified annotation.
+package goleak
+
+import (
+	"context"
+	"sync"
+)
+
+// Worker owns the provable goroutines.
+type Worker struct {
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Start spawns goroutines with every accepted kind of stop evidence.
+func (w *Worker) Start(ctx context.Context) {
+	// Named method whose body selects on a struct{} stop channel.
+	go w.loop()
+
+	// WaitGroup pairing: Add before the go, Done inside.
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		work()
+	}()
+
+	// Receive from ctx.Done() (a <-chan struct{}).
+	go func() {
+		<-ctx.Done()
+	}()
+
+	go leak() // want `no provable stop path`
+
+	f := work
+	go f() // want `opaque function value`
+}
+
+func (w *Worker) loop() {
+	for {
+		select {
+		case <-w.stop:
+			return
+		default:
+			work()
+		}
+	}
+}
+
+// leak spins forever with no stop path.
+func leak() {
+	for i := 0; ; i++ {
+		work()
+	}
+}
+
+// justifiedSpawn documents an out-of-band join the analyzer cannot see.
+func justifiedSpawn() {
+	//lint:stopped joined out of band: the test harness closes over a latch
+	go leak()
+}
+
+func work() {}

@@ -1,0 +1,81 @@
+// Package httpcontract is the fixture for the httpcontract program
+// analyzer: one status per path, Retry-After on 429s, no body after an
+// error status, no silent handlers.
+package httpcontract
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// writeJSON is the module-helper shape: classified as a definite writer
+// because the WriteHeader sits at the top level of its body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// handleDouble writes two statuses on the same path.
+func handleDouble(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, "a")
+	w.WriteHeader(http.StatusOK) // want `second status write`
+}
+
+// handleConditional is clean: the two writes are path-exclusive.
+func handleConditional(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/missing" {
+		writeJSON(w, http.StatusNotFound, "missing")
+		return
+	}
+	writeJSON(w, http.StatusOK, "ok")
+}
+
+// handleThrottle forgets Retry-After on a 429.
+func handleThrottle(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusTooManyRequests, "slow down") // want `429 response without`
+}
+
+// handleThrottleOK sets Retry-After before committing the 429.
+func handleThrottleOK(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusTooManyRequests, "slow down")
+}
+
+// handleErrBody writes body bytes after an error status.
+func handleErrBody(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "bad", http.StatusBadRequest)
+	fmt.Fprintln(w, "details") // want `body bytes written after an error status`
+}
+
+// handleLoop repeats a status write across iterations.
+func handleLoop(w http.ResponseWriter, r *http.Request) {
+	for i := 0; i < 3; i++ { // want `status write inside a loop`
+		w.WriteHeader(http.StatusOK)
+	}
+}
+
+// handleValidateLoop is the validate-then-bail idiom: every writing
+// iteration returns, so the write cannot repeat.
+func handleValidateLoop(w http.ResponseWriter, r *http.Request) {
+	for i := 0; i < 3; i++ {
+		if i == 2 {
+			http.Error(w, "bad", http.StatusBadRequest)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, "ok")
+}
+
+// handleSilent never responds and never hands off the writer.
+func handleSilent(w http.ResponseWriter, r *http.Request) { // want `never writes a response`
+	_ = r.URL.Query()
+}
+
+// handleJustified documents a deliberate second write.
+func handleJustified(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, "a")
+	//lint:response connection is hijacked upstream; this write is unreachable in production
+	w.WriteHeader(http.StatusOK)
+}

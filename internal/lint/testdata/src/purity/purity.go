@@ -1,0 +1,93 @@
+// Package purity is the fixture for the purity program analyzer. The
+// test configures Root as the only determinism root; everything it
+// reaches is fenced, everything else is ignored.
+package purity
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Root is the configured determinism root.
+func Root() {
+	step()
+	viaValue(helperClean)
+}
+
+func step() {
+	_ = time.Now() // want `wall clock \(time.Now\) reachable`
+	since(time.Unix(0, 0))
+	_ = readEnv()
+	randomness()
+	iterate(map[string]int{"a": 1})
+	_ = compareFloats(1.5, 2.5)
+	_ = exactJustified(1.5, 2.5)
+	_ = sortedJustified(map[string]int{"a": 1}, nil)
+	justified()
+	bare()
+}
+
+func since(t0 time.Time) {
+	_ = time.Since(t0) // want `wall clock \(time.Since\) reachable`
+}
+
+func readEnv() string {
+	return os.Getenv("LILY_MODE") // want `process environment \(os.Getenv\) reachable`
+}
+
+func randomness() {
+	_ = rand.Intn(10) // want `global rand \(math/rand.Intn\) reachable`
+}
+
+func iterate(m map[string]int) {
+	total := 0.0
+	for _, v := range m { // want `order-dependent body`
+		total += float64(v)
+	}
+	_ = total
+}
+
+func compareFloats(a, b float64) bool {
+	return a == b // want `exact == between float expressions`
+}
+
+// exactJustified reuses the floateq escape hatch inside the fence.
+func exactJustified(a, b float64) bool {
+	//lint:exact inputs are bit-identical copies by construction
+	return a == b
+}
+
+// sortedJustified reuses the maporder escape hatch inside the fence.
+func sortedJustified(m map[string]int, out []string) []string {
+	//lint:sorted caller deduplicates and sorts the keys
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// justified uses the impure escape hatch with the mandatory reason.
+func justified() {
+	//lint:impure wall clock feeds a debug log line only, never a cost
+	_ = time.Now()
+}
+
+// bare shows that an impure marker without a justification suppresses
+// nothing.
+func bare() {
+	//lint:impure
+	_ = time.Now() // want `wall clock \(time.Now\) reachable`
+}
+
+// unreachable is outside the root set: nothing here is flagged.
+func unreachable() {
+	_ = time.Now()
+	_ = rand.Intn(3)
+}
+
+func helperClean() {}
+
+// viaValue exercises the dynamic-call edges: helperClean is reached
+// through a function value.
+func viaValue(f func()) { f() }

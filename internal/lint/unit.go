@@ -152,6 +152,19 @@ func RunUnit(cfgPath string, w io.Writer) (int, error) {
 	if err != nil {
 		return 2, err
 	}
+
+	// Program analyzers run at their anchor units. The test variant
+	// ("p [p.test]") analyzes the same non-test sources as the base
+	// package, so only the base visit runs them — otherwise every
+	// finding would print twice under `go vet ./...` with tests.
+	if cfg.ImportPath == importPath {
+		progFindings, err := runUnitProgramAnalyzers(cfg.Dir, importPath)
+		if err != nil {
+			return 2, err
+		}
+		findings = append(findings, progFindings...)
+	}
+
 	for _, f := range findings {
 		fmt.Fprintln(w, f.String())
 	}
@@ -159,6 +172,74 @@ func RunUnit(cfgPath string, w io.Writer) (int, error) {
 		return 1, nil
 	}
 	return 0, nil
+}
+
+// vetProgramAnalyzers is the vet-mode registration list for the
+// cross-package analyzers. It is spelled out literally — rather than
+// aliasing ProgramAnalyzers — so this file names exactly what the vet
+// driver exposes; TestDriverRegistriesMatch asserts it stays identical
+// to the standalone registry.
+var vetProgramAnalyzers = []*ProgramAnalyzer{
+	PurityAnalyzer,
+	GoLeakAnalyzer,
+	HTTPContractAnalyzer,
+}
+
+// runUnitProgramAnalyzers runs the cross-package analyzers anchored at
+// importPath. The vet protocol hands us one package at a time, so at an
+// anchor unit we reload the whole module with the offline loader, build
+// the call graph, and run the anchored analyzers over it. Findings are
+// filtered so the aggregate over `go vet ./...` contains each exactly
+// once: a finding in package P prints at unit P when P is an anchor,
+// and at this (the triggering) anchor when P is outside every anchor.
+func runUnitProgramAnalyzers(dir, importPath string) ([]Finding, error) {
+	var triggered []*ProgramAnalyzer
+	for _, a := range vetProgramAnalyzers {
+		for _, anchor := range a.Anchors {
+			if anchor == importPath {
+				triggered = append(triggered, a)
+				break
+			}
+		}
+	}
+	if len(triggered) == 0 {
+		return nil, nil
+	}
+	root, err := findModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		return nil, err
+	}
+	prog := BuildProgram(pkgs)
+	var out []Finding
+	for _, a := range triggered {
+		fs, err := RunProgramAnalyzers(prog, []*ProgramAnalyzer{a})
+		if err != nil {
+			return nil, err
+		}
+		anchored := make(map[string]bool, len(a.Anchors))
+		for _, anc := range a.Anchors {
+			anchored[anc] = true
+		}
+		for _, f := range fs {
+			p := prog.PackageOfFile(f.Posn.Filename)
+			if p == nil {
+				continue
+			}
+			if p.Path == importPath || !anchored[p.Path] {
+				out = append(out, f)
+			}
+		}
+	}
+	sortFindings(out)
+	return out, nil
 }
 
 // RunStandalone loads the given package patterns (relative to the
@@ -184,6 +265,30 @@ func RunStandalone(dir string, patterns []string, w io.Writer) (int, error) {
 			continue
 		}
 		findings, err := RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			return 2, err
+		}
+		for _, f := range findings {
+			fmt.Fprintln(w, f.String())
+		}
+		total += len(findings)
+	}
+
+	// Cross-package analyzers trigger when any of their anchors is among
+	// the requested packages; each runs once over the whole module (the
+	// call graph needs every package regardless of the request) and
+	// reports all its findings.
+	requested := make([]string, len(pkgs))
+	for i, pkg := range pkgs {
+		requested[i] = pkg.Path
+	}
+	if progAnalyzers := ProgramAnalyzersFor(requested); len(progAnalyzers) > 0 {
+		all, err := loader.Load("./...")
+		if err != nil {
+			return 2, err
+		}
+		prog := BuildProgram(all)
+		findings, err := RunProgramAnalyzers(prog, progAnalyzers)
 		if err != nil {
 			return 2, err
 		}
