@@ -45,6 +45,8 @@ func main() {
 	verify := flag.Bool("verify", false, "verify mapped netlists against the source circuits")
 	autotune := flag.Bool("autotune", false, "let Lily retry with the paper's §5 remedies and keep the best run")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "flow-engine worker-pool size")
+	parallelism := flag.Int("parallelism", 0,
+		"intra-job workers for the cover DP and placement solves (0 = sequential; results are bit-identical at any setting)")
 	serverURL := flag.String("server", "", "lilyd base URL; run the suite through its batch API instead of in-process")
 	flag.Parse()
 
@@ -69,9 +71,9 @@ func main() {
 
 	var rows map[string]row
 	if *serverURL != "" {
-		rows = submitBatch(*serverURL, names, objective, *verify, *autotune)
+		rows = submitBatch(*serverURL, names, objective, *verify, *autotune, *parallelism)
 	} else {
-		eng := engine.New(engine.Config{Workers: *workers})
+		eng := engine.New(engine.Config{Workers: *workers, Parallelism: *parallelism})
 		defer func() { _ = eng.Shutdown(context.Background()) }()
 		rows = submitSuite(eng, names, objective, *verify, *autotune)
 	}
@@ -150,7 +152,7 @@ func (r remoteRow) reap() (m, l *lily.FlowResult) { return <-r.mis, <-r.lily }
 // jobs per circuit (index 2i = MIS, 2i+1 = Lily), then a collector
 // goroutine drains the NDJSON result stream into per-row futures. Rows
 // still print in suite order; the stream arrives in completion order.
-func submitBatch(base string, names []string, objective lily.Objective, verify, autotune bool) map[string]row {
+func submitBatch(base string, names []string, objective lily.Objective, verify, autotune bool, parallelism int) map[string]row {
 	base = strings.TrimRight(base, "/")
 	obj := "area"
 	if objective == lily.ObjectiveDelay {
@@ -162,7 +164,8 @@ func submitBatch(base string, names []string, objective lily.Objective, verify, 
 			server.SubmitRequest{Benchmark: name, Options: server.JobOptions{
 				Mapper: "mis", Objective: obj, Verify: verify}},
 			server.SubmitRequest{Benchmark: name, Options: server.JobOptions{
-				Mapper: "lily", Objective: obj, Verify: verify, AutoTune: autotune}},
+				Mapper: "lily", Objective: obj, Verify: verify, AutoTune: autotune,
+				Parallelism: parallelism}},
 		)
 	}
 	body, err := json.Marshal(req)

@@ -11,6 +11,7 @@ import (
 	"context"
 	"encoding/json"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -145,7 +146,7 @@ func mappedBytes(t *testing.T, name string, opt lily.FlowOptions) []byte {
 // this under -race (the full-suite race pass), which turns such leaks
 // into hard failures even when the bytes happen to agree.
 func TestMappedBLIFGOMAXPROCSInvariant(t *testing.T) {
-	levels := []int{1, 2, runtime.NumCPU()}
+	levels := dedupLevels([]int{1, 2, runtime.NumCPU()})
 	cases := []struct {
 		name string
 		opt  lily.FlowOptions
@@ -165,15 +166,83 @@ func TestMappedBLIFGOMAXPROCSInvariant(t *testing.T) {
 		var want []byte
 		for _, procs := range levels {
 			runtime.GOMAXPROCS(procs)
-			got := mappedBytes(t, tc.name, tc.opt)
-			if want == nil {
-				want = got
-				continue
+			// The intra-job Parallelism knob must be invisible in the
+			// bytes at every scheduler width — that is the contract that
+			// lets the engine digest exclude it.
+			for _, par := range levels {
+				opt := tc.opt
+				opt.Parallelism = par
+				got := mappedBytes(t, tc.name, opt)
+				if want == nil {
+					want = got
+					continue
+				}
+				if !bytes.Equal(want, got) {
+					t.Errorf("%s/%v: GOMAXPROCS=%d Parallelism=%d changed the mapped BLIF (%d vs %d bytes)",
+						tc.name, tc.opt.Objective, procs, par, len(want), len(got))
+				}
 			}
-			if !bytes.Equal(want, got) {
-				t.Errorf("%s/%v: GOMAXPROCS=%d changed the mapped BLIF (%d vs %d bytes)",
-					tc.name, tc.opt.Objective, procs, len(want), len(got))
+		}
+	}
+}
+
+// dedupLevels drops repeated parallelism levels (NumCPU is often 1 or 2)
+// while preserving order.
+func dedupLevels(in []int) []int {
+	var out []int
+	for _, v := range in {
+		dup := false
+		for _, u := range out {
+			dup = dup || u == v
+		}
+		if !dup {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// TestConcurrentParallelRuns is the pooled-scratch regression for the
+// wave-parallel mapper: several parallel-mode pipelines run at once, so
+// wire.Scratch buffers are borrowed concurrently by overlapping worker
+// pools. Every run must still emit the sequential bytes — and under
+// -race (CI's race-lifecycle job) any scratch object shared between two
+// borrowers is a hard failure, not just a byte mismatch.
+func TestConcurrentParallelRuns(t *testing.T) {
+	opt := lily.FlowOptions{Mapper: lily.MapperLily, Objective: lily.ObjectiveArea}
+	want := mappedBytes(t, "misex1", opt)
+
+	const runs = 6
+	outs := make([][]byte, runs)
+	errs := make([]error, runs)
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := lily.GenerateBenchmark("misex1")
+			if err != nil {
+				errs[i] = err
+				return
 			}
+			popt := opt
+			popt.Parallelism = 2 + i%3
+			var buf bytes.Buffer
+			if _, err := lily.WriteMappedBLIF(c, popt, &buf); err != nil {
+				errs[i] = err
+				return
+			}
+			outs[i] = buf.Bytes()
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < runs; i++ {
+		if errs[i] != nil {
+			t.Fatalf("run %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(outs[i], want) {
+			t.Errorf("run %d (Parallelism=%d): bytes diverge from sequential (%d vs %d)",
+				i, 2+i%3, len(outs[i]), len(want))
 		}
 	}
 }

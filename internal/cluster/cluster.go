@@ -110,10 +110,13 @@ func (p *peer) noteSuccess() {
 }
 
 // noteFailure marks the peer down and schedules its next probe with
-// exponential backoff: interval << streak, capped at 16× interval.
+// exponential backoff: interval << (streak-1), capped at 16× interval.
+// The first failure after a recovery probes again at the base interval —
+// streak resets on success (noteSuccess), so a peer that was healthy a
+// moment ago must not restart deep in the backoff curve.
 func (p *peer) noteFailure(now time.Time, interval time.Duration) {
 	streak := p.streak.Add(1)
-	shift := streak
+	shift := streak - 1
 	if shift > 4 {
 		shift = 4
 	}

@@ -306,6 +306,39 @@ func TestProbeMarksPeerDownThenUp(t *testing.T) {
 	})
 }
 
+// TestProbeBackoffResetsAfterRecovery pins the backoff schedule: base
+// interval on the first failure, doubling per consecutive failure up to
+// 16×, and — the regression — a successful probe resets the curve, so a
+// peer that flaps right after recovering is re-probed at the base
+// interval instead of resuming deep in the backoff window.
+func TestProbeBackoffResetsAfterRecovery(t *testing.T) {
+	c, _, _ := newTestCluster(t, 0)
+	p := c.peers[0]
+	const interval = time.Second
+	now := time.Unix(1000, 0)
+	until := func() time.Duration { return time.Duration(p.backoffUntil.Load() - now.UnixNano()) }
+
+	p.noteFailure(now, interval)
+	if got := until(); got != interval {
+		t.Fatalf("first failure backoff = %v, want base interval %v", got, interval)
+	}
+	want := []time.Duration{2 * interval, 4 * interval, 8 * interval, 16 * interval, 16 * interval}
+	for i, w := range want {
+		p.noteFailure(now, interval)
+		if got := until(); got != w {
+			t.Fatalf("failure %d backoff = %v, want %v", i+2, got, w)
+		}
+	}
+	p.noteSuccess()
+	if p.backoffUntil.Load() != 0 || p.streak.Load() != 0 {
+		t.Fatal("noteSuccess did not clear the failure streak and backoff window")
+	}
+	p.noteFailure(now, interval)
+	if got := until(); got != interval {
+		t.Fatalf("post-recovery failure backoff = %v, want base %v: a recovered peer must restart the curve", got, interval)
+	}
+}
+
 // waitFor polls cond until it holds or the deadline passes.
 func waitFor(t *testing.T, what string, cond func() bool) {
 	t.Helper()

@@ -105,6 +105,13 @@ type Options struct {
 	// MIS 2.2-style load preprocessing the paper points to in §6 for
 	// overcoming its load-independent delay model.
 	TwoPassDelay bool
+	// Parallelism bounds the worker count for the intra-run wave-parallel
+	// cone evaluation (DESIGN.md §13): consecutive support-disjoint cones
+	// are evaluated concurrently and committed strictly in cone order.
+	// 0 or 1 runs the sequential schedule; any value produces bit-identical
+	// output (the waves are chosen so no worker can observe another's
+	// effects, and all shared-state mutation replays in commit order).
+	Parallelism int
 	// TraceLifecycle records every egg/nestling/hawk/dove transition.
 	TraceLifecycle bool
 	// Place configures the global placement of the inchoate network.
@@ -206,6 +213,18 @@ func mapPlaced(ctx context.Context, sub *logic.Network, lib *library.Library, pl
 // the lifecycle bookkeeping, and the scratch buffers the hot path reuses.
 func newLily(ctx context.Context, sub *logic.Network, lib *library.Library, pl *place.Result, opt Options, loadHints map[logic.NodeID]float64) *lily {
 	n := len(sub.Nodes)
+	// Dense mirrors of the placement maps: the cover DP reads a position
+	// for every fanin/fanout of every candidate match, and the map lookups
+	// dominated the profile. posArr is refreshed by replaceGlobal; the PO
+	// pad points never move once the die is fixed.
+	posArr := make([]geom.Point, n)
+	for id, p := range pl.Pos {
+		posArr[id] = p
+	}
+	poPadPts := make([][]geom.Point, n)
+	for i, po := range sub.POs {
+		poPadPts[po] = append(poPadPts[po], pl.POPads[sub.PONames[i]])
+	}
 	return &lily{
 		ctx: ctx, fm: obs.FlowMetricsFrom(ctx),
 		sub: sub, lib: lib, opt: opt, pl: pl,
@@ -224,6 +243,8 @@ func newLily(ctx context.Context, sub *logic.Network, lib *library.Library, pl *
 		hawkConsumers: make([][]hawkRef, n),
 		everDove:      make([]bool, n),
 		loadHints:     loadHints,
+		posArr:        posArr,
+		poPadPts:      poPadPts,
 		mergedStamp:   make([]uint32, n),
 		fanEpoch:      1,
 		fanStamp:      make([]uint64, n),
@@ -289,6 +310,13 @@ type lily struct {
 
 	// --- hot-path scratch state (DESIGN.md §11) ---
 
+	// posArr is the dense mirror of pl.Pos (indexed by NodeID), refreshed
+	// by replaceGlobal; the DP inner loop never touches the map.
+	posArr []geom.Point
+	// poPadPts[v] lists the PO pad points node v drives (nil for the vast
+	// majority of nodes), replacing a per-match scan over all POs.
+	poPadPts [][]geom.Point
+
 	// ws holds the pooled wire-length work buffers for the run.
 	ws *wire.Scratch
 	// geo is the per-match geometry scratch rebuilt by geometry().
@@ -324,27 +352,14 @@ type lily struct {
 
 func (lm *lily) run() (*Result, error) {
 	order := lm.coneOrder()
-	for i, poIdx := range order {
-		if err := lm.ctx.Err(); err != nil {
-			return nil, err
-		}
-		root := lm.sub.POs[poIdx]
-		if err := lm.processCone(root); err != nil {
-			return nil, err
-		}
-		if err := lm.commitCone(root); err != nil {
-			return nil, err
-		}
-		lm.stats.ConesProcessed++
-		lm.fm.ConesMapped.Inc()
-		if lm.opt.ReplaceEvery > 0 && i+1 < len(order) &&
-			lm.stats.ConesProcessed%lm.opt.ReplaceEvery == 0 {
-			if err := lm.replaceGlobal(); err != nil {
-				return nil, err
-			}
-			lm.stats.Replacements++
-			lm.fm.Replacements.Inc()
-		}
+	var coneErr error
+	if lm.opt.Parallelism > 1 && len(order) > 1 {
+		coneErr = lm.runConesParallel(order)
+	} else {
+		coneErr = lm.runConesSequential(order)
+	}
+	if coneErr != nil {
+		return nil, coneErr
 	}
 
 	nl, refs, err := cover.BuildNetlist(lm.sub, func(v logic.NodeID) *match.Match {
@@ -371,6 +386,46 @@ func (lm *lily) run() (*Result, error) {
 		nl.POs[i].Pad = lm.pl.POPads[nl.POs[i].Name]
 	}
 	return &Result{Netlist: nl, Placement: lm.pl, Stats: lm.stats, Trace: lm.trace}, nil
+}
+
+// runConesSequential is the reference schedule: map and commit one cone
+// at a time in cone order, re-placing every ReplaceEvery cones. The
+// parallel schedule (parallel.go) must be observationally identical to
+// this loop.
+func (lm *lily) runConesSequential(order []int) error {
+	for i, poIdx := range order {
+		if err := lm.ctx.Err(); err != nil {
+			return err
+		}
+		root := lm.sub.POs[poIdx]
+		if err := lm.processCone(root); err != nil {
+			return err
+		}
+		if err := lm.finishCone(root, i, len(order)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// finishCone is the shared post-evaluation tail of both schedules: commit
+// the cone's choices, account for it, and trigger the periodic global
+// re-placement. i is the cone's position in the order, n the order length.
+func (lm *lily) finishCone(root logic.NodeID, i, n int) error {
+	if err := lm.commitCone(root); err != nil {
+		return err
+	}
+	lm.stats.ConesProcessed++
+	lm.fm.ConesMapped.Inc()
+	if lm.opt.ReplaceEvery > 0 && i+1 < n &&
+		lm.stats.ConesProcessed%lm.opt.ReplaceEvery == 0 {
+		if err := lm.replaceGlobal(); err != nil {
+			return err
+		}
+		lm.stats.Replacements++
+		lm.fm.Replacements.Inc()
+	}
+	return nil
 }
 
 // coneOrder returns PO indices in processing order: the greedy minimum-
@@ -462,7 +517,7 @@ func (lm *lily) evaluateNode(v logic.NodeID) error {
 func (lm *lily) inputPos(vi logic.NodeID) geom.Point {
 	switch {
 	case lm.sub.Nodes[vi].Kind == logic.KindPI:
-		return lm.pl.Pos[vi]
+		return lm.posArr[vi]
 	case lm.state[vi] == StateHawk:
 		return lm.hawkPos[vi]
 	default:
@@ -502,7 +557,7 @@ func (lm *lily) cachedFans(vi logic.NodeID) []trueFanout {
 			continue
 		}
 		out = append(out, trueFanout{
-			node: fo, pos: lm.pl.Pos[fo], cap: lm.baseCap(fo),
+			node: fo, pos: lm.posArr[fo], cap: lm.baseCap(fo),
 		})
 	}
 	lm.fanLists[vi] = out
@@ -607,21 +662,32 @@ func (lm *lily) geometry(v logic.NodeID, m *match.Match) *matchGeometry {
 		g.distinctIn = append(g.distinctIn, vi)
 		g.boundPins = append(g.boundPins, 1)
 	}
+	// The explicit pin lists feed only the exact/spanning-tree wire
+	// models; the default Steiner estimator works from the fanin
+	// rectangle and the pin count (derived from fanOff), so skipping the
+	// per-pin appends here saves a pass over every candidate's fanouts.
+	needPts := lm.opt.WireModel != wire.ModelHPWLSteiner
 	rects := lm.rects[:0]
 	for _, vi := range g.distinctIn {
 		p := lm.inputPos(vi)
-		g.ptsBuf = append(g.ptsBuf, p)
+		if needPts {
+			g.ptsBuf = append(g.ptsBuf, p)
+		}
 		r := geom.RectAround(p)
 		for _, tf := range lm.cachedFans(vi) {
 			if !tf.hawk && lm.inMerged(tf.node) {
 				continue // non-hawk fanout covered by m: disappears into gate(m)
 			}
 			g.fansBuf = append(g.fansBuf, tf)
-			g.ptsBuf = append(g.ptsBuf, tf.pos)
+			if needPts {
+				g.ptsBuf = append(g.ptsBuf, tf.pos)
+			}
 			r = r.Extend(tf.pos)
 		}
 		g.fanOff = append(g.fanOff, len(g.fansBuf))
-		g.ptsOff = append(g.ptsOff, len(g.ptsBuf))
+		if needPts {
+			g.ptsOff = append(g.ptsOff, len(g.ptsBuf))
+		}
 		g.faninRect = append(g.faninRect, r)
 		rects = append(rects, r)
 	}
@@ -629,14 +695,10 @@ func (lm *lily) geometry(v logic.NodeID, m *match.Match) *matchGeometry {
 	// the reverse-DFS order), plus PO pads v drives.
 	for _, fo := range lm.sub.Fanouts(v) {
 		if !lm.inMerged(fo) {
-			g.fanoutPts = append(g.fanoutPts, lm.pl.Pos[fo])
+			g.fanoutPts = append(g.fanoutPts, lm.posArr[fo])
 		}
 	}
-	for i, po := range lm.sub.POs {
-		if po == v {
-			g.fanoutPts = append(g.fanoutPts, lm.pl.POPads[lm.sub.PONames[i]])
-		}
-	}
+	g.fanoutPts = append(g.fanoutPts, lm.poPadPts[v]...)
 	if len(g.fanoutPts) > 0 {
 		rects = append(rects, geom.Enclosing(g.fanoutPts))
 	}
@@ -646,7 +708,7 @@ func (lm *lily) geometry(v logic.NodeID, m *match.Match) *matchGeometry {
 	case CMOfMerged:
 		pts := lm.ptsWork[:0]
 		for _, u := range m.Merged {
-			pts = append(pts, lm.pl.Pos[u])
+			pts = append(pts, lm.posArr[u])
 		}
 		lm.ptsWork = pts
 		g.gatePos = geom.Centroid(pts)
@@ -687,7 +749,7 @@ func (lm *lily) wireIncrement(g *matchGeometry, i int) float64 {
 	sinks := g.fanOff[i+1] - g.fanOff[i] + 1
 	var length float64
 	if lm.opt.WireModel == wire.ModelHPWLSteiner {
-		npins := g.ptsOff[i+1] - g.ptsOff[i] + 1
+		npins := sinks + 1 // driver + surviving fans + gate(m)
 		length = wire.HPWLNetLength(g.faninRect[i].Extend(g.gatePos), npins)
 	} else {
 		pts := append(lm.ptsWork[:0], g.pts(i)...)
@@ -828,7 +890,7 @@ func (lm *lily) inputLoad(g *matchGeometry, i int, m *match.Match) float64 {
 	}
 	var x, y float64
 	if lm.opt.WireModel == wire.ModelHPWLSteiner {
-		npins := g.ptsOff[i+1] - g.ptsOff[i] + 1
+		npins := g.fanOff[i+1] - g.fanOff[i] + 2 // driver + fans + gate(m)
 		x, y = wire.HPWLLengthXY(g.faninRect[i].Extend(g.gatePos), npins)
 	} else {
 		pts := append(lm.ptsWork[:0], g.pts(i)...)

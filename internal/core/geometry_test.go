@@ -60,6 +60,10 @@ func nand2MatchAt(t *testing.T, lm *lily, v logic.NodeID) *match.Match {
 // pad x drives.
 func TestFaninRectanglesConstruction(t *testing.T) {
 	sub, lm := fixture(t)
+	// Explicit per-pin lists are only materialized for the exact wire
+	// models; the default Steiner estimator derives pin counts from the
+	// flat fanout offsets instead (see geometry).
+	lm.opt.WireModel = wire.ModelSpanningTree
 	x := sub.NodeByName("x").ID
 	lm.state[x] = StateNestling
 	m := nand2MatchAt(t, lm, x)
@@ -117,7 +121,13 @@ func TestWireIncrementAccounting(t *testing.T) {
 	x := sub.NodeByName("x").ID
 	lm.state[x] = StateNestling
 	m := nand2MatchAt(t, lm, x)
+	// Build the geometry under an exact model so the explicit pin lists
+	// exist for the cross-check, then evaluate the increment with the
+	// default Steiner estimator; every other geometry field is
+	// model-independent.
+	lm.opt.WireModel = wire.ModelSpanningTree
 	g := lm.geometry(x, m)
+	lm.opt.WireModel = wire.ModelHPWLSteiner
 	ai := g.inputIndex(sub.NodeByName("a").ID)
 	inc := lm.wireIncrement(g, ai)
 	// Net: a(0,0) + gate position; single sink -> full net length.

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"lily/internal/geom"
+	"lily/internal/library"
+	"lily/internal/logic"
+	"lily/internal/place"
+)
+
+// waveFixture builds a lily over a hand-made subject so planWaves can be
+// probed directly. Positions are arbitrary: wave planning looks only at
+// the graph structure.
+func waveFixture(t *testing.T, build func(sub *logic.Network)) *lily {
+	t.Helper()
+	sub := logic.New("waves")
+	build(sub)
+	pl := &place.Result{
+		Pos:    map[logic.NodeID]geom.Point{},
+		POPads: map[string]geom.Point{},
+		Die:    geom.Enclosing([]geom.Point{{X: 0, Y: 0}, {X: 10, Y: 10}}),
+	}
+	for id, nd := range sub.Nodes {
+		if nd != nil {
+			pl.Pos[logic.NodeID(id)] = geom.Point{X: float64(id), Y: 0}
+		}
+	}
+	for _, name := range sub.PONames {
+		pl.POPads[name] = geom.Point{X: 10, Y: 10}
+	}
+	return newLily(context.Background(), sub, library.Big(), pl, DefaultOptions(ModeArea), nil)
+}
+
+// flatten concatenates a wave plan back into one position sequence.
+func flatten(waves [][]int) []int {
+	var out []int
+	for _, w := range waves {
+		out = append(out, w...)
+	}
+	return out
+}
+
+// TestPlanWavesDisjointConesShareAWave: two cones with disjoint supports
+// and no fanout adjacency are independent, so they evaluate in one wave.
+func TestPlanWavesDisjointConesShareAWave(t *testing.T) {
+	lm := waveFixture(t, func(sub *logic.Network) {
+		a := sub.AddPI("a")
+		b := sub.AddPI("b")
+		c := sub.AddPI("c")
+		d := sub.AddPI("d")
+		x := sub.AddLogic("x", []logic.NodeID{a.ID, b.ID}, logic.NandSOP(2))
+		y := sub.AddLogic("y", []logic.NodeID{c.ID, d.ID}, logic.NandSOP(2))
+		sub.MarkPO(x.ID, "x")
+		sub.MarkPO(y.ID, "y")
+	})
+	waves := lm.planWaves([]int{0, 1})
+	if len(waves) != 1 || len(waves[0]) != 2 {
+		t.Fatalf("disjoint cones split into waves %v, want one wave of 2", waves)
+	}
+}
+
+// TestPlanWavesSharedSupportSplits: a shared input couples the cones —
+// mapping the first moves state the second reads — so they must
+// serialize into separate waves, preserving the cone order.
+func TestPlanWavesSharedSupportSplits(t *testing.T) {
+	lm := waveFixture(t, func(sub *logic.Network) {
+		a := sub.AddPI("a")
+		b := sub.AddPI("b")
+		c := sub.AddPI("c")
+		x := sub.AddLogic("x", []logic.NodeID{a.ID, b.ID}, logic.NandSOP(2))
+		y := sub.AddLogic("y", []logic.NodeID{b.ID, c.ID}, logic.NandSOP(2))
+		sub.MarkPO(x.ID, "x")
+		sub.MarkPO(y.ID, "y")
+	})
+	waves := lm.planWaves([]int{0, 1})
+	if len(waves) != 2 {
+		t.Fatalf("coupled cones planned as %v, want two singleton waves", waves)
+	}
+	if got := flatten(waves); got[0] != 0 || got[1] != 1 {
+		t.Fatalf("wave order %v does not preserve the cone order", got)
+	}
+}
+
+// TestPlanWavesFanoutAdjacencySplits: the cones share no support node,
+// but the first cone's support fans out into the second cone's root, so
+// committing the first changes lifecycle state the second observes
+// (hawk consumers, fan lists). They may not share a wave.
+func TestPlanWavesFanoutAdjacencySplits(t *testing.T) {
+	lm := waveFixture(t, func(sub *logic.Network) {
+		a := sub.AddPI("a")
+		b := sub.AddPI("b")
+		x := sub.AddLogic("x", []logic.NodeID{a.ID, b.ID}, logic.NandSOP(2))
+		y := sub.AddLogic("y", []logic.NodeID{x.ID}, logic.NotSOP())
+		sub.MarkPO(x.ID, "x")
+		sub.MarkPO(y.ID, "y")
+	})
+	waves := lm.planWaves([]int{0, 1})
+	if len(waves) != 2 {
+		t.Fatalf("adjacent cones planned as %v, want two waves", waves)
+	}
+}
+
+// TestPlanWavesReplaceEveryBoundary: the periodic global re-placement
+// runs between cones in the sequential schedule, so a wave must never
+// straddle a ReplaceEvery boundary even when the cones are independent.
+func TestPlanWavesReplaceEveryBoundary(t *testing.T) {
+	lm := waveFixture(t, func(sub *logic.Network) {
+		for _, name := range []string{"p", "q", "r", "s"} {
+			pi := sub.AddPI(name + "_in")
+			v := sub.AddLogic(name, []logic.NodeID{pi.ID}, logic.NotSOP())
+			sub.MarkPO(v.ID, name)
+		}
+	})
+	order := []int{0, 1, 2, 3}
+	if waves := lm.planWaves(order); len(waves) != 1 {
+		t.Fatalf("independent cones planned as %v, want one wave of 4", waves)
+	}
+	lm.opt.ReplaceEvery = 2
+	waves := lm.planWaves(order)
+	if len(waves) != 2 || len(waves[0]) != 2 || len(waves[1]) != 2 {
+		t.Fatalf("ReplaceEvery=2 planned %v, want waves [0 1] [2 3]", waves)
+	}
+	got := flatten(waves)
+	for i, p := range got {
+		if p != i {
+			t.Fatalf("plan %v drops or reorders positions", got)
+		}
+	}
+}

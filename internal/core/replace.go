@@ -88,6 +88,7 @@ func (lm *lily) replaceGlobal() error {
 			lm.hawkPos[v] = pos
 		}
 		lm.pl.Pos[v] = pos
+		lm.posArr[v] = pos
 	}
 	// placePositions and mapPositions moved: cached true-fanout lists are
 	// stale, advance the fan epoch.

@@ -67,6 +67,11 @@ func normalizeOptions(opt lily.FlowOptions) lily.FlowOptions {
 	if opt.Mapper != lily.MapperMIS {
 		opt.TreeMode = false // MIS-only knob
 	}
+	// Parallelism is a throughput knob: the wave-parallel mapper and the
+	// placement reduction trees are bit-identical at every setting
+	// (DESIGN.md §13), so it must not fragment the cache or reshuffle
+	// cluster ownership.
+	opt.Parallelism = 0
 	return opt
 }
 

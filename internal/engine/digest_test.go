@@ -46,7 +46,7 @@ func TestRequestDigestFormat(t *testing.T) {
 			t.Fatalf("digest %q contains non-lowercase-hex rune %q", got, r)
 		}
 	}
-	const want = "c987abd924a8aded4519c6a87c7c4c2814dc077761e1cf951eb3df42c2da9e1c"
+	const want = "0efbcf617baa4b8cd9efd59a827f8a1529c9cf10edb68ba28f5c4a3c7bb3f275"
 	if got != want {
 		t.Fatalf("digest format changed:\n got %s\nwant %s", got, want)
 	}
@@ -82,6 +82,11 @@ func TestRequestDigestSensitivity(t *testing.T) {
 	local.LocalOnly = true
 	if d, _ := RequestDigest(local); d != d0 {
 		t.Fatalf("LocalOnly changed digest: routing flags must not affect the cache key")
+	}
+	par := base
+	par.Options.Parallelism = 8
+	if d, _ := RequestDigest(par); d != d0 {
+		t.Fatalf("Parallelism changed digest: the output is bit-identical at any setting, so the throughput knob must not fragment the cache")
 	}
 	delay := base
 	delay.Options.Objective = lily.ObjectiveDelay

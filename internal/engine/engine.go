@@ -92,6 +92,13 @@ type Config struct {
 	// terminal state via a worker (the lilyd job-log middleware). It
 	// runs on the worker goroutine; keep it fast.
 	OnTerminal func(Status)
+	// Parallelism is the intra-job worker default applied to requests
+	// that leave FlowOptions.Parallelism unset (0). The knob is pure
+	// throughput — results are bit-identical at every setting and the
+	// request digest excludes it — so the server can raise it fleet-wide
+	// without invalidating caches. 0 leaves requests untouched
+	// (sequential mapping).
+	Parallelism int
 	// Run overrides the job executor (tests); nil runs the lily pipeline.
 	Run RunFunc
 	// Remote, when set, is consulted before local compute for jobs whose
@@ -661,7 +668,14 @@ func (e *Engine) runGuarded(j *Job) (out *Outcome, err error) {
 			root.SetError(err)
 		}
 	}()
-	out, err = e.run(ctx, j.circuit, j.req)
+	req := j.req
+	if req.Options.Parallelism == 0 {
+		// Apply the engine-wide intra-job parallelism default on a local
+		// copy: the job's stored request (and its digest) stay as
+		// submitted, since the knob does not change the output.
+		req.Options.Parallelism = e.cfg.Parallelism
+	}
+	out, err = e.run(ctx, j.circuit, req)
 	root.SetError(err)
 	return out, err
 }

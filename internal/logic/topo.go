@@ -1,6 +1,9 @@
 package logic
 
-import "fmt"
+import (
+	"fmt"
+	mathbits "math/bits"
+)
 
 // Cone returns the transitive fanin of root (including root itself, and
 // including PIs) as a set keyed by node ID. This is the "logic cone" K_i of
@@ -143,25 +146,58 @@ func (n *Network) Sweep() int {
 // "exit lines" from cone i into cone j: edges from a node inside cone i to
 // a node inside cone j but outside cone i (paper §3.5). The result is the
 // matrix M with M[i][j] = E(K_i, K_j); diagonal entries are zero.
+// The cone-membership sets are computed as per-node bitsets (bit i of
+// inCone[v] ⇔ v ∈ K_i) by one reverse-topological sweep — v is in cone i
+// iff it is PO i or one of its fanouts is — and each edge u→fo then
+// contributes M[i][j]++ for every i with u∈K_i, fo∉K_i and every j with
+// fo∈K_j (j=i is excluded automatically since fo∉K_i). This replaces k
+// hash-set cone traversals and a per-edge k-scan with word-parallel
+// bit operations.
 func (n *Network) ExitLines() [][]int {
 	k := len(n.POs)
-	cones := make([]map[NodeID]bool, k)
-	for i, po := range n.POs {
-		cones[i] = n.Cone(po)
-	}
 	m := make([][]int, k)
 	for i := range m {
 		m[i] = make([]int, k)
 	}
-	for i := 0; i < k; i++ {
-		for id := range cones[i] {
-			for _, fo := range n.Nodes[id].fanouts {
-				if cones[i][fo] {
-					continue // edge stays inside cone i
-				}
-				for j := 0; j < k; j++ {
-					if j != i && cones[j][fo] {
-						m[i][j]++
+	if k == 0 {
+		return m
+	}
+	order, err := n.TopoOrder()
+	if err != nil {
+		panic(err) // ExitLines is only called on checked networks.
+	}
+	words := (k + 63) / 64
+	inCone := make([]uint64, len(n.Nodes)*words)
+	coneBits := func(id NodeID) []uint64 {
+		return inCone[int(id)*words : (int(id)+1)*words]
+	}
+	for i, po := range n.POs {
+		coneBits(po)[i/64] |= 1 << (i % 64)
+	}
+	// Reverse topological order: every node's fanouts are already final.
+	for idx := len(order) - 1; idx >= 0; idx-- {
+		b := coneBits(order[idx])
+		for _, fo := range n.Nodes[order[idx]].fanouts {
+			fb := coneBits(fo)
+			for w := range b {
+				b[w] |= fb[w]
+			}
+		}
+	}
+	for _, id := range order {
+		ub := coneBits(id)
+		for _, fo := range n.Nodes[id].fanouts {
+			fb := coneBits(fo)
+			for w, uw := range ub {
+				iw := uw &^ fb[w] // cones containing id but exited by this edge
+				for iw != 0 {
+					row := m[w*64+mathbits.TrailingZeros64(iw)]
+					iw &= iw - 1
+					for w2, jw := range fb {
+						for jw != 0 {
+							row[w2*64+mathbits.TrailingZeros64(jw)]++
+							jw &= jw - 1
+						}
 					}
 				}
 			}

@@ -38,6 +38,12 @@ type Config struct {
 	// paper's §5 remark that the initial pad placement influences how
 	// much wire reduction Lily can achieve.
 	NaivePads bool
+	// Parallelism bounds the worker count for the CG mat-vec, the two
+	// per-axis solves, the per-level region splits, and the HPWL
+	// reduction (DESIGN.md §13). Every parallel path is elementwise or
+	// folds partial sums in a fixed partition order, so the placement is
+	// bit-identical at any setting; 0 or 1 runs sequentially.
+	Parallelism int
 }
 
 // DefaultConfig returns the configuration used throughout the experiments.
@@ -135,9 +141,16 @@ func GlobalContext(ctx context.Context, net *logic.Network, cellWidth func(logic
 	// Nets: one per driver with at least two terminals.
 	nets := buildNets(net, pads)
 
+	idxArr := make([]int32, len(net.Nodes))
+	for i := range idxArr {
+		idxArr[i] = -1
+	}
+	for mi, id := range movable {
+		idxArr[id] = int32(mi)
+	}
 	p := &placer{
 		ctx: ctx, net: net, cfg: cfg, die: die,
-		movable: movable, idx: idx, pads: pads, nets: nets,
+		movable: movable, idx: idx, idxArr: idxArr, pads: pads, nets: nets,
 		width: cellWidth, rowHeight: rowHeight,
 		fm: obs.FlowMetricsFrom(ctx),
 	}
@@ -250,6 +263,10 @@ type placer struct {
 	die       geom.Rect
 	movable   []logic.NodeID
 	idx       map[logic.NodeID]int
+	// idxArr is the dense mirror of idx (-1 for non-movable node IDs);
+	// pinIndex sits inside the per-region net projection loops, where
+	// the map lookup dominated the partition profile.
+	idxArr    []int32
 	pads      []*pad
 	nets      []netDef
 	width     func(logic.NodeID) float64
@@ -335,8 +352,12 @@ func clampTo(pt geom.Point, r geom.Rect) geom.Point {
 }
 
 // solveQP solves both axes with optional per-cell anchors (region centers).
+// The axes share the system matrix but are otherwise independent, so with
+// Parallelism > 1 they solve concurrently; iteration counts still
+// accumulate in X-then-Y order.
 func (p *placer) solveQP(anchor []geom.Point, anchorW float64) error {
 	q := newQuadSystem(len(p.movable))
+	q.par = p.cfg.Parallelism
 	for _, nd := range p.nets {
 		k := len(nd.pins)
 		if k <= 8 {
@@ -358,6 +379,23 @@ func (p *placer) solveQP(anchor []geom.Point, anchorW float64) error {
 		for i := range p.movable {
 			q.addFixed(i, anchorW, anchor[i].X, anchor[i].Y)
 		}
+	}
+	if p.cfg.Parallelism > 1 {
+		var itY int
+		var errY error
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			itY, errY = q.solve(p.ctx, q.rhsY, p.y, p.cfg.CGTol, p.cfg.CGMaxIter)
+		}()
+		itX, errX := q.solve(p.ctx, q.rhsX, p.x, p.cfg.CGTol, p.cfg.CGMaxIter)
+		<-done
+		p.cgIters += itX
+		if errX != nil {
+			return errX
+		}
+		p.cgIters += itY
+		return errY
 	}
 	itX, err := q.solve(p.ctx, q.rhsX, p.x, p.cfg.CGTol, p.cfg.CGMaxIter)
 	p.cgIters += itX
@@ -387,11 +425,7 @@ func (p *placer) pinIndex(pin netPin) int {
 	if pin.pad != nil {
 		return -1
 	}
-	i, ok := p.idx[logic.NodeID(pin.cell)]
-	if !ok {
-		return -1
-	}
-	return i
+	return int(p.idxArr[pin.cell])
 }
 
 // assignPads reassigns pads to boundary slots ordered by the angle of each
@@ -464,13 +498,25 @@ func (p *placer) partition() ([]geom.Rect, error) {
 		}
 		split := false
 		var next []*region
-		for _, r := range regions {
-			if len(r.cells) <= p.cfg.MinRegion {
+		// Each split reads only the frozen solution (p.x/p.y/p.nets) and
+		// writes region-local state, so a level's splits run concurrently;
+		// the results are assembled in region order either way.
+		type splitPair struct{ a, b *region }
+		pairs := make([]splitPair, len(regions))
+		parallelFor(len(regions), p.cfg.Parallelism, func(lo, hi int) {
+			for ri := lo; ri < hi; ri++ {
+				if len(regions[ri].cells) > p.cfg.MinRegion {
+					a, b := p.splitRegion(regions[ri], areas)
+					pairs[ri] = splitPair{a, b}
+				}
+			}
+		})
+		for ri, r := range regions {
+			if pairs[ri].a == nil {
 				next = append(next, r)
 				continue
 			}
-			a, b := p.splitRegion(r, areas)
-			next = append(next, a, b)
+			next = append(next, pairs[ri].a, pairs[ri].b)
 			split = true
 		}
 		regions = next
@@ -538,10 +584,16 @@ func (p *placer) splitRegion(r *region, areas []float64) (*region, *region) {
 		cut = len(cells) / 2
 	}
 
-	// Local FM refinement on the projected hypergraph.
-	local := make(map[int]int, len(cells)) // movable idx -> local idx
+	// Local FM refinement on the projected hypergraph. The movable→local
+	// index translation is a dense array (-1 = outside the region): this
+	// projection runs over every net for every region of every level,
+	// where a hash lookup per pin dominated the partition profile.
+	local := make([]int32, len(p.movable)) // movable idx -> local idx
+	for i := range local {
+		local[i] = -1
+	}
 	for li, c := range cells {
-		local[c] = li
+		local[c] = int32(li)
 	}
 	h := &Hypergraph{Areas: make([]float64, len(cells))}
 	for li, c := range cells {
@@ -551,8 +603,8 @@ func (p *placer) splitRegion(r *region, areas []float64) (*region, *region) {
 		var pins []int
 		for _, pin := range nd.pins {
 			if i := p.pinIndex(pin); i >= 0 {
-				if li, ok := local[i]; ok {
-					pins = append(pins, li)
+				if li := local[i]; li >= 0 {
+					pins = append(pins, int(li))
 				}
 			}
 		}
@@ -604,23 +656,38 @@ func rectOf(llx, lly, urx, ury float64) geom.Rect {
 // TotalHPWL sums the half-perimeter length over all nets at the placed
 // positions.
 func (r *Result) TotalHPWL(net *logic.Network) float64 {
-	total := 0.0
-	for _, nd := range net.Nodes {
-		if nd == nil {
-			continue
-		}
-		pts := []geom.Point{r.Pos[nd.ID]}
-		for _, fo := range dedup(net.Fanouts(nd.ID)) {
-			pts = append(pts, r.Pos[fo])
-		}
-		for i, po := range net.POs {
-			if po == nd.ID {
-				pts = append(pts, r.POPads[net.PONames[i]])
+	return r.TotalHPWLParallel(net, 1)
+}
+
+// TotalHPWLParallel is TotalHPWL with a bounded worker count: the
+// per-net lengths are computed elementwise into a slice partitioned by
+// driver index and folded in that fixed order, so the sum is
+// bit-identical to the sequential one at any par (DESIGN.md §13).
+func (r *Result) TotalHPWLParallel(net *logic.Network, par int) float64 {
+	vals := make([]float64, len(net.Nodes))
+	parallelFor(len(net.Nodes), par, func(lo, hi int) {
+		for id := lo; id < hi; id++ {
+			nd := net.Nodes[id]
+			if nd == nil {
+				continue
+			}
+			pts := []geom.Point{r.Pos[nd.ID]}
+			for _, fo := range dedup(net.Fanouts(nd.ID)) {
+				pts = append(pts, r.Pos[fo])
+			}
+			for i, po := range net.POs {
+				if po == nd.ID {
+					pts = append(pts, r.POPads[net.PONames[i]])
+				}
+			}
+			if len(pts) >= 2 {
+				vals[id] = geom.Enclosing(pts).HalfPerimeter()
 			}
 		}
-		if len(pts) >= 2 {
-			total += geom.Enclosing(pts).HalfPerimeter()
-		}
+	})
+	total := 0.0
+	for _, v := range vals {
+		total += v
 	}
 	return total
 }

@@ -263,10 +263,19 @@ func (s *Server) handleBatchList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// batchStreamWriteTimeout bounds each NDJSON line write. A client that
+// stops reading (but keeps the connection open) fills the kernel send
+// buffer; without a deadline the encoder's Write blocks forever and the
+// handler goroutine — plus its per-job waiter goroutines — is pinned for
+// the life of the connection. Variable so the regression test can tighten
+// it without stalling for a minute.
+var batchStreamWriteTimeout = 60 * time.Second
+
 // handleBatchStream writes one NDJSON line per job, in completion order,
 // flushing after each so results stream while the rest of the batch is
 // still computing. The stream ends when every job has been reported; a
-// client disconnect stops it early without touching the jobs.
+// client disconnect — or one that stalls past batchStreamWriteTimeout —
+// stops it early without touching the jobs.
 func (s *Server) handleBatchStream(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	b, ok := s.batches.get(id)
@@ -292,21 +301,32 @@ func (s *Server) handleBatchStream(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
-	fl, canFlush := w.(http.Flusher)
+	// ResponseController reaches Flush/SetWriteDeadline through wrapper
+	// writers (the metrics statusRecorder) via their Unwrap chain — a
+	// plain w.(http.Flusher) assertion sees only the wrapper and fails.
+	rc := http.NewResponseController(w)
 	enc := json.NewEncoder(w)
 	for n := 0; n < len(b.entries); n++ {
 		select {
 		case i := <-completed:
+			// Arm a per-line write deadline so a stalled reader cannot
+			// pin this goroutine once the TCP window fills. The error is
+			// ignored: on writers without deadline support we just keep
+			// the old blocking behavior.
+			_ = rc.SetWriteDeadline(time.Now().Add(batchStreamWriteTimeout))
 			if err := enc.Encode(batchResult(b.entries[i])); err != nil {
-				return // client gone
+				return // client gone or stalled past the deadline
 			}
-			if canFlush {
-				fl.Flush()
+			if err := rc.Flush(); err != nil {
+				return
 			}
 		case <-ctx.Done():
 			return
 		}
 	}
+	// Disarm the deadline so the server's connection teardown isn't
+	// bounded by the last line's remaining budget.
+	_ = rc.SetWriteDeadline(time.Time{})
 }
 
 // batchResult renders one terminal job as its stream line.

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"lily"
+	"lily/internal/engine"
+)
+
+// TestBatchStreamStalledClient is the regression for the NDJSON-stream
+// write hang: a client that opens GET /v1/batches/{id} and then stops
+// reading fills the kernel send buffer, and without a per-line write
+// deadline enc.Encode blocks forever, pinning the handler goroutine (and
+// its per-job waiters) for the life of the connection. With the deadline
+// armed, the server must abort the stream shortly after the stall and
+// close the connection instead of shipping the whole batch.
+func TestBatchStreamStalledClient(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stalled-connection soak")
+	}
+	// Tighten the per-line deadline so the stall is detected in test
+	// time rather than the production minute.
+	old := batchStreamWriteTimeout
+	batchStreamWriteTimeout = 250 * time.Millisecond
+	t.Cleanup(func() { batchStreamWriteTimeout = old })
+
+	// Fat result lines (~32 KiB each) so the full stream is far larger
+	// than loopback socket buffering: maxBatchJobs lines ≈ 32 MiB. If
+	// the deadline fails to fire, the drain below would have to swallow
+	// all of it; with the fix the server gives up after one blocked
+	// line.
+	pad := strings.Repeat("x", 32<<10)
+	ts, _ := newFakeServer(t, engine.Config{Workers: 4, Run: func(ctx context.Context, c *lily.Circuit, req engine.Request) (*engine.Outcome, error) {
+		return &engine.Outcome{Result: &lily.FlowResult{Circuit: req.Benchmark + pad, Gates: 1}}, nil
+	}})
+
+	jobs := make([]SubmitRequest, maxBatchJobs)
+	for i := range jobs {
+		jobs[i] = SubmitRequest{Benchmark: "misex1", Options: JobOptions{Mapper: "lily"}}
+	}
+	ack := decode[BatchSubmitResponse](t, postJSON(t, ts.URL+"/v1/batches", BatchSubmitRequest{Jobs: jobs}))
+
+	// Raw connection so nothing reads the response: http.Client would
+	// buffer and ruin the stall.
+	addr := ts.Listener.Addr().String()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Clamp the receive buffer: with kernel auto-tuning (tcp_rmem can
+	// grow to tens of MB) the whole stream could fit in kernel buffers
+	// and no server write would ever block.
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetReadBuffer(64 << 10)
+	}
+	fmt.Fprintf(conn, "GET %s HTTP/1.1\r\nHost: %s\r\n\r\n", ack.Stream, addr)
+
+	// Stall: let the handler fill every buffer between it and us, hit
+	// the write deadline, and abort. 6× the deadline leaves slack for
+	// slow CI machines.
+	time.Sleep(6 * batchStreamWriteTimeout)
+
+	// Drain what was buffered before the abort. The server must have
+	// closed the connection, so the read loop terminates — promptly,
+	// and long before the full batch's worth of bytes.
+	deadline := time.Now().Add(30 * time.Second)
+	_ = conn.SetReadDeadline(deadline)
+	var total int
+	r := bufio.NewReaderSize(conn, 1<<16)
+	buf := make([]byte, 1<<16)
+	full := maxBatchJobs * len(pad)
+	for {
+		n, err := r.Read(buf)
+		total += n
+		if err != nil {
+			break // EOF or reset: the server hung up
+		}
+		if total >= full {
+			t.Fatalf("drained %d bytes (full batch is %d): server streamed everything to a stalled client", total, full)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("stream still open long after the write deadline: stalled client pinned the handler")
+		}
+	}
+	t.Logf("server aborted after %d buffered bytes (full stream %d)", total, full)
+}

@@ -184,6 +184,13 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
+// Unwrap exposes the wrapped writer to http.ResponseController, which is
+// how the batch stream reaches Flush and SetWriteDeadline through this
+// wrapper. Without it the recorder silently swallowed both: the embedded
+// interface hides the concrete writer's optional methods, so the NDJSON
+// stream neither flushed per line nor timed out on stalled readers.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
 // statusClass folds an HTTP status into its hundreds class ("2xx").
 func statusClass(code int) string {
 	if code < 100 || code > 599 {
@@ -231,6 +238,11 @@ type JobOptions struct {
 	ReplaceEvery              int     `json:"replace_every,omitempty"`
 	TreeMode                  bool    `json:"tree_mode,omitempty"`
 	LayoutDrivenDecomposition bool    `json:"layout_driven_decomposition,omitempty"`
+	// Parallelism bounds intra-job workers for the cover DP and the
+	// placement solves. Throughput only: the result is bit-identical at
+	// any setting and the request digest excludes it. 0 defers to the
+	// server-wide default (lilyd -parallelism).
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // ToFlowOptions validates and converts the JSON options.
@@ -275,6 +287,10 @@ func (o JobOptions) ToFlowOptions() (lily.FlowOptions, error) {
 	opt.ReplaceEvery = o.ReplaceEvery
 	opt.TreeMode = o.TreeMode
 	opt.LayoutDrivenDecomposition = o.LayoutDrivenDecomposition
+	if o.Parallelism < 0 {
+		return opt, fmt.Errorf("parallelism must be >= 0")
+	}
+	opt.Parallelism = o.Parallelism
 	return opt, nil
 }
 

@@ -254,6 +254,12 @@ type FlowOptions struct {
 	// placement proximity, preserving the mapper's option to split large
 	// matches along spatial cluster boundaries.
 	LayoutDrivenDecomposition bool
+	// Parallelism bounds the intra-run worker count for Lily's
+	// wave-parallel cone mapping and the placer's partitioned solves
+	// (DESIGN.md §13). It is a throughput knob only: the mapped output
+	// is byte-identical at every setting, so it does not participate in
+	// the engine's request digest. 0 or 1 runs sequentially.
+	Parallelism int
 }
 
 // FlowResult reports a completed pipeline run with the paper's metrics.
@@ -503,6 +509,8 @@ func runPipeline(ctx context.Context, c *Circuit, opt FlowOptions) (*FlowResult,
 		copt.ReplaceEvery = opt.ReplaceEvery
 		copt.Place.NaivePads = opt.NaivePads
 		copt.TwoPassDelay = opt.TwoPassDelay
+		copt.Parallelism = opt.Parallelism
+		copt.Place.Parallelism = opt.Parallelism
 		res, err := core.MapContext(ctx, sub, lib, copt)
 		if err != nil {
 			return nil, nil, err

@@ -48,6 +48,7 @@ type benchTarget struct {
 
 var targets = []benchTarget{
 	{Pattern: "^BenchmarkPipelineC5315$", Pkg: "."},
+	{Pattern: "^BenchmarkPipelineC5315Parallel$", Pkg: "."},
 	{Pattern: "^BenchmarkTable1Full$", Pkg: "."},
 	{Pattern: "^BenchmarkEngineSuite$", Pkg: "./internal/engine/"},
 }
@@ -76,6 +77,14 @@ type snapshot struct {
 	WireCostEvaluations uint64 `json:"wire_cost_evaluations"`
 	// ConesMapped is the committed-cone count over the same sample.
 	ConesMapped uint64 `json:"cones_mapped"`
+	// NumCPU records the host width the snapshot was taken at, for
+	// interpreting ParallelSpeedup (a 1-CPU host can only report ~1×).
+	NumCPU int `json:"num_cpu"`
+	// ParallelSpeedup is ns/op of the sequential C5315 pipeline over the
+	// Parallelism=NumCPU run — the wave-parallel mapper's wall-clock win
+	// (DESIGN.md §13). Gated at -min-speedup on hosts wide enough for
+	// the target to be meaningful.
+	ParallelSpeedup float64 `json:"parallel_speedup,omitempty"`
 }
 
 func main() {
@@ -84,6 +93,8 @@ func main() {
 	tol := flag.Float64("tolerance", 0.10, "allowed fractional regression for deterministic metrics (allocs/op, wire evals)")
 	timeTol := flag.Float64("time-tolerance", 0.50, "allowed fractional regression for ns/op")
 	minNs := flag.Float64("min-ns", 5e8, "per-benchmark ns/op gate applies only above this baseline")
+	minSpeedup := flag.Float64("min-speedup", 1.8,
+		"required C5315 parallel speedup (sequential ns/op over Parallelism=NumCPU); enforced on hosts with >= 4 CPUs")
 	flag.Parse()
 	if *out == "" && *baseline == "" {
 		fmt.Fprintln(os.Stderr, "benchperf: need -out and/or -baseline")
@@ -109,7 +120,17 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchperf: %v\n", err)
 			os.Exit(1)
 		}
-		if errs := compare(base, snap, *tol, *timeTol, *minNs); len(errs) > 0 {
+		errs := compare(base, snap, *tol, *timeTol, *minNs)
+		// The speedup gate reads the fresh run, not the baseline: it is
+		// an absolute floor for the wave-parallel mapper, only meaningful
+		// on hosts wide enough that 1.8x is reachable (a 2-CPU runner
+		// tops out below it on Amdahl grounds alone).
+		if runtime.NumCPU() >= 4 && snap.ParallelSpeedup > 0 && snap.ParallelSpeedup < *minSpeedup {
+			errs = append(errs, fmt.Sprintf(
+				"C5315 parallel speedup %.2fx < %.2fx floor at NumCPU=%d",
+				snap.ParallelSpeedup, *minSpeedup, runtime.NumCPU()))
+		}
+		if len(errs) > 0 {
 			for _, e := range errs {
 				fmt.Fprintf(os.Stderr, "benchperf: REGRESSION: %s\n", e)
 			}
@@ -139,6 +160,11 @@ func collect() (*snapshot, error) {
 	}
 	snap.WireCostEvaluations = evals
 	snap.ConesMapped = cones
+	snap.NumCPU = runtime.NumCPU()
+	seq, par := snap.Benchmarks["PipelineC5315"], snap.Benchmarks["PipelineC5315Parallel"]
+	if seq.NsPerOp > 0 && par.NsPerOp > 0 {
+		snap.ParallelSpeedup = seq.NsPerOp / par.NsPerOp
+	}
 	return snap, nil
 }
 
