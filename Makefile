@@ -71,7 +71,7 @@ perfcheck:
 # (engine, server, obs) are covered by their own suites and the
 # race/soak targets, so they are deliberately outside this floor.
 COVER_PKGS := ./internal/logic/ ./internal/decomp/ ./internal/library/ \
-	./internal/match/ ./internal/cover/ ./internal/mis/ ./internal/core/ \
+	./internal/match/ ./internal/cut/ ./internal/cover/ ./internal/mis/ ./internal/core/ \
 	./internal/place/ ./internal/wire/ ./internal/geom/ ./internal/netlist/ \
 	./internal/layout/ ./internal/timing/ ./internal/fanout/ ./internal/equiv/ \
 	./internal/cluster/ ./internal/lint/

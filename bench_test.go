@@ -214,6 +214,30 @@ func BenchmarkPipelineC5315Parallel(b *testing.B) {
 	}
 }
 
+// BenchmarkPipelineC5315LUT4 and ...LUT6 measure the same pipeline on
+// the K-LUT backend: cut enumeration replaces library matching inside
+// the identical covering DP, so the ASIC/LUT ns-per-op ratio tracks the
+// relative cost of the two Backend implementations.
+func BenchmarkPipelineC5315LUT4(b *testing.B) { benchPipelineLUT(b, TargetLUT4) }
+
+func BenchmarkPipelineC5315LUT6(b *testing.B) { benchPipelineLUT(b, TargetLUT6) }
+
+func benchPipelineLUT(b *testing.B, tgt TechnologyTarget) {
+	b.Helper()
+	c, err := GenerateBenchmark("C5315")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := RunFlow(c, FlowOptions{Mapper: MapperLily, Target: tgt})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.SubjectNodes), "inchoate-nodes")
+		b.ReportMetric(float64(res.Gates), "mapped-luts")
+	}
+}
+
 // Ablation benchmarks (DESIGN.md §5).
 
 func benchAblation(b *testing.B, circuits []string, opts map[string]FlowOptions) {

@@ -132,6 +132,31 @@ func suiteBatch(t *testing.T) (server.BatchSubmitRequest, []string) {
 	return req, keys
 }
 
+// lutSuiteBatch builds the suite batch at target=lut4 in area mode (the
+// pinned LUT goldens), with emit_blif so each stream line carries the
+// golden hash. The LUT backend rides the same distribution machinery as
+// ASIC mapping: same digest routing, same cache tiers.
+func lutSuiteBatch(t *testing.T) (server.BatchSubmitRequest, []string) {
+	t.Helper()
+	circuits := lily.BenchmarkNames()
+	sort.Strings(circuits)
+	var req server.BatchSubmitRequest
+	var keys []string
+	for _, circuit := range circuits {
+		if testing.Short() && shortSkip[circuit] {
+			continue
+		}
+		req.Jobs = append(req.Jobs, server.SubmitRequest{
+			Benchmark: circuit,
+			EmitBLIF:  true,
+			Options: server.JobOptions{
+				Mapper: "lily", Objective: "area", Target: "lut4", Parallelism: 2},
+		})
+		keys = append(keys, lutGoldenKey(circuit, lily.ObjectiveArea, lily.TargetLUT4))
+	}
+	return req, keys
+}
+
 // runSuiteBatch submits the suite to one node and returns the stream
 // lines keyed by job index, plus the submit ack.
 func runSuiteBatch(t *testing.T, ts *httptest.Server, req server.BatchSubmitRequest) (server.BatchSubmitResponse, map[int]server.BatchResult) {
@@ -240,6 +265,13 @@ func TestClusterSmoke(t *testing.T) {
 	if hits := n2.eng.Stats().CacheHits + n2.eng.Stats().RemoteHits; hits == 0 {
 		t.Errorf("round 2 recomputed everything — no tier served n2")
 	}
+
+	// Round 4: the suite again at target=lut4. Different target ⇒
+	// different digests ⇒ fresh distributed compute, and every hash must
+	// match the pinned LUT goldens no matter which node produced it.
+	lutReq, lutKeys := lutSuiteBatch(t)
+	_, lutResults := runSuiteBatch(t, n2.ts, lutReq)
+	assertGoldenResults(t, "n2/lut4", lutKeys, lutResults, goldens)
 
 	// Kill an owner: pick a job n2 owns (from the round-1 refs), close
 	// n2, and resubmit it to n1 alone. The job must still complete with

@@ -66,6 +66,7 @@ import (
 	"syscall"
 	"time"
 
+	"lily"
 	"lily/internal/cluster"
 	"lily/internal/engine"
 	"lily/internal/obs"
@@ -96,9 +97,17 @@ func main() {
 	peersFlag := flag.String("peers", "",
 		"comma-separated cluster peers as id=url pairs, e.g. 'n2=http://host2:8080,n3=http://host3:8080'")
 	probeEvery := flag.Duration("probe-interval", 2*time.Second, "peer health-probe cadence")
+	targetFlag := flag.String("target", "asic",
+		"technology target for jobs that don't set options.target: asic, lut4, or lut6")
 	flag.Parse()
 
 	logger, err := newLogger(*logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lilyd: %v\n", err)
+		os.Exit(2)
+	}
+
+	defaultTarget, err := lily.ParseTechnologyTarget(*targetFlag)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lilyd: %v\n", err)
 		os.Exit(2)
@@ -164,7 +173,7 @@ func main() {
 	}
 	eng := engine.New(engCfg)
 
-	srvOpts := []server.Option{}
+	srvOpts := []server.Option{server.WithDefaultTarget(defaultTarget)}
 	if clu != nil {
 		srvOpts = append(srvOpts, server.WithCluster(clu))
 	} else if *nodeID != "" {

@@ -23,6 +23,7 @@ func main() {
 	blif := flag.String("blif", "", "path to a combinational BLIF file")
 	mapper := flag.String("mapper", "lily", "mapper: lily or mis")
 	mode := flag.String("mode", "area", "objective: area or delay")
+	target := flag.String("target", "asic", "technology target: asic, lut4, or lut6")
 	libChoice := flag.String("lib", "big", "library: big (≤6-input) or tiny (≤3-input)")
 	lambda := flag.Float64("lambda", 1.0, "Lily wire-cost weight λ")
 	update := flag.String("update", "cm-of-fans", "Lily placement update: cm-of-fans, cm-of-merged, median")
@@ -108,6 +109,11 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown estimator %q", *estimator))
 	}
+	tgt, err := lily.ParseTechnologyTarget(*target)
+	if err != nil {
+		fatal(err)
+	}
+	opt.Target = tgt
 
 	st := c.Stats()
 	fmt.Printf("circuit %s: %d PIs, %d POs, %d nodes, depth %d\n",
@@ -129,7 +135,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("mapper            %s (%s mode, %s library)\n", res.Mapper, res.Objective, *libChoice)
+	fmt.Printf("mapper            %s (%s mode, %s library, %s target)\n",
+		res.Mapper, res.Objective, *libChoice, res.Target)
 	fmt.Printf("subject graph     %d NAND2/INV nodes\n", res.SubjectNodes)
 	fmt.Printf("mapped gates      %d\n", res.Gates)
 	fmt.Printf("instance area     %.4f mm²\n", res.ActiveAreaMM2)

@@ -21,6 +21,7 @@
 //	tables -table 1 -only C432 # single row
 //	tables -table 1 -workers 4 # bound the worker pool
 //	tables -table 1 -server http://localhost:8081   # via lilyd batch API
+//	tables -table 1 -target lut4                    # extra FPGA columns
 package main
 
 import (
@@ -48,7 +49,14 @@ func main() {
 	parallelism := flag.Int("parallelism", 0,
 		"intra-job workers for the cover DP and placement solves (0 = sequential; results are bit-identical at any setting)")
 	serverURL := flag.String("server", "", "lilyd base URL; run the suite through its batch API instead of in-process")
+	target := flag.String("target", "asic",
+		"add FPGA columns mapped at this technology target: asic (none), lut4, or lut6")
 	flag.Parse()
+
+	tgt, err := lily.ParseTechnologyTarget(*target)
+	if err != nil {
+		fatal(err)
+	}
 
 	var names []string
 	switch *table {
@@ -71,35 +79,37 @@ func main() {
 
 	var rows map[string]row
 	if *serverURL != "" {
-		rows = submitBatch(*serverURL, names, objective, *verify, *autotune, *parallelism)
+		rows = submitBatch(*serverURL, names, objective, tgt, *verify, *autotune, *parallelism)
 	} else {
 		eng := engine.New(engine.Config{Workers: *workers, Parallelism: *parallelism})
 		defer func() { _ = eng.Shutdown(context.Background()) }()
-		rows = submitSuite(eng, names, objective, *verify, *autotune)
+		rows = submitSuite(eng, names, objective, tgt, *verify, *autotune)
 	}
 
 	if *table == 1 {
-		runTable1(names, rows)
+		runTable1(names, rows, tgt)
 	} else {
-		runTable2(names, rows)
+		runTable2(names, rows, tgt)
 	}
 }
 
-// row yields one table line: the MIS and Lily results of a circuit.
-// reap blocks until both are available.
+// row yields one table line: the MIS and Lily results of a circuit,
+// plus the Lily FPGA result when a LUT target is selected (nil
+// otherwise). reap blocks until all are available.
 type row interface {
-	reap() (m, l *lily.FlowResult)
+	reap() (m, l, f *lily.FlowResult)
 }
 
-// jobRow holds the two in-process engine jobs of one table line.
+// jobRow holds the in-process engine jobs of one table line. fpga is
+// nil unless a LUT target was requested.
 type jobRow struct {
-	mis, lily *engine.Job
+	mis, lily, fpga *engine.Job
 }
 
 // submitSuite fans the whole suite out across the engine's worker pool:
 // one job per circuit × mapper, submitted up front so workers stay busy
 // while rows are reaped in print order.
-func submitSuite(eng *engine.Engine, names []string, objective lily.Objective, verify, autotune bool) map[string]row {
+func submitSuite(eng *engine.Engine, names []string, objective lily.Objective, tgt lily.TechnologyTarget, verify, autotune bool) map[string]row {
 	ctx := context.Background()
 	rows := make(map[string]row, len(names))
 	for _, name := range names {
@@ -120,13 +130,25 @@ func submitSuite(eng *engine.Engine, names []string, objective lily.Objective, v
 		if err != nil {
 			fatal(err)
 		}
-		rows[name] = jobRow{mis: m, lily: l}
+		r := jobRow{mis: m, lily: l}
+		if tgt != lily.TargetASIC {
+			r.fpga, err = eng.Submit(ctx, engine.Request{
+				Benchmark: name,
+				Options: lily.FlowOptions{
+					Mapper: lily.MapperLily, Objective: objective, Target: tgt,
+					VerifyEquivalence: verify},
+			})
+			if err != nil {
+				fatal(err)
+			}
+		}
+		rows[name] = r
 	}
 	return rows
 }
 
-// reap blocks until both jobs of a row finish and returns their results.
-func (r jobRow) reap() (m, l *lily.FlowResult) {
+// reap blocks until the jobs of a row finish and returns their results.
+func (r jobRow) reap() (m, l, f *lily.FlowResult) {
 	ctx := context.Background()
 	mo, err := r.mis.Wait(ctx)
 	if err != nil {
@@ -136,29 +158,48 @@ func (r jobRow) reap() (m, l *lily.FlowResult) {
 	if err != nil {
 		fatal(err)
 	}
-	return mo.Result, lo.Result
+	if r.fpga == nil {
+		return mo.Result, lo.Result, nil
+	}
+	fo, err := r.fpga.Wait(ctx)
+	if err != nil {
+		fatal(err)
+	}
+	return mo.Result, lo.Result, fo.Result
 }
 
-// remoteRow holds two futures filled by the batch-stream collector. The
+// remoteRow holds the futures filled by the batch-stream collector. The
 // channels are buffered so the collector never blocks on a row the
-// printer hasn't reached yet.
+// printer hasn't reached yet. fpga is nil unless a LUT target was
+// requested.
 type remoteRow struct {
-	mis, lily chan *lily.FlowResult
+	mis, lily, fpga chan *lily.FlowResult
 }
 
-func (r remoteRow) reap() (m, l *lily.FlowResult) { return <-r.mis, <-r.lily }
+func (r remoteRow) reap() (m, l, f *lily.FlowResult) {
+	m, l = <-r.mis, <-r.lily
+	if r.fpga != nil {
+		f = <-r.fpga
+	}
+	return m, l, f
+}
 
 // submitBatch runs the suite through a lilyd batch: one POST with two
-// jobs per circuit (index 2i = MIS, 2i+1 = Lily), then a collector
-// goroutine drains the NDJSON result stream into per-row futures. Rows
-// still print in suite order; the stream arrives in completion order.
-func submitBatch(base string, names []string, objective lily.Objective, verify, autotune bool, parallelism int) map[string]row {
+// jobs per circuit (stride i = MIS, i+1 = Lily, and i+2 = Lily at the
+// LUT target when one is selected), then a collector goroutine drains
+// the NDJSON result stream into per-row futures. Rows still print in
+// suite order; the stream arrives in completion order.
+func submitBatch(base string, names []string, objective lily.Objective, tgt lily.TechnologyTarget, verify, autotune bool, parallelism int) map[string]row {
 	base = strings.TrimRight(base, "/")
 	obj := "area"
 	if objective == lily.ObjectiveDelay {
 		obj = "delay"
 	}
-	req := server.BatchSubmitRequest{Jobs: make([]server.SubmitRequest, 0, 2*len(names))}
+	stride := 2
+	if tgt != lily.TargetASIC {
+		stride = 3
+	}
+	req := server.BatchSubmitRequest{Jobs: make([]server.SubmitRequest, 0, stride*len(names))}
 	for _, name := range names {
 		req.Jobs = append(req.Jobs,
 			server.SubmitRequest{Benchmark: name, Options: server.JobOptions{
@@ -167,6 +208,13 @@ func submitBatch(base string, names []string, objective lily.Objective, verify, 
 				Mapper: "lily", Objective: obj, Verify: verify, AutoTune: autotune,
 				Parallelism: parallelism}},
 		)
+		if stride == 3 {
+			req.Jobs = append(req.Jobs,
+				server.SubmitRequest{Benchmark: name, Options: server.JobOptions{
+					Mapper: "lily", Objective: obj, Target: tgt.String(),
+					Verify: verify, Parallelism: parallelism}},
+			)
+		}
 	}
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -193,13 +241,17 @@ func submitBatch(base string, names []string, objective lily.Objective, verify, 
 	resp.Body.Close()
 
 	rows := make(map[string]row, len(names))
-	byIndex := make([]chan *lily.FlowResult, 2*len(names))
+	byIndex := make([]chan *lily.FlowResult, stride*len(names))
 	for i, name := range names {
 		r := remoteRow{
 			mis:  make(chan *lily.FlowResult, 1),
 			lily: make(chan *lily.FlowResult, 1),
 		}
-		byIndex[2*i], byIndex[2*i+1] = r.mis, r.lily
+		byIndex[stride*i], byIndex[stride*i+1] = r.mis, r.lily
+		if stride == 3 {
+			r.fpga = make(chan *lily.FlowResult, 1)
+			byIndex[stride*i+2] = r.fpga
+		}
 		rows[name] = r
 	}
 	go streamBatch(client, base+ack.Stream, byIndex)
@@ -244,24 +296,38 @@ func streamBatch(client *http.Client, url string, byIndex []chan *lily.FlowResul
 	}
 }
 
-func runTable1(names []string, rows map[string]row) {
+func runTable1(names []string, rows map[string]row, tgt lily.TechnologyTarget) {
 	fmt.Println("Table 1: area mode — MIS2.1 vs Lily (instance area, chip area, wirelength)")
-	fmt.Printf("%-8s | %10s %10s %8s | %10s %10s %8s | %6s %6s %6s\n",
+	fmt.Printf("%-8s | %10s %10s %8s | %10s %10s %8s | %6s %6s %6s",
 		"Ex.", "mis inst", "mis chip", "mis WL", "lily inst", "lily chip", "lily WL",
 		"Δinst", "Δchip", "ΔWL")
-	fmt.Printf("%-8s | %10s %10s %8s | %10s %10s %8s | %6s %6s %6s\n",
+	if tgt != lily.TargetASIC {
+		fmt.Printf(" | %9s %8s", tgt.String()+" n", tgt.String()+" WL")
+	}
+	fmt.Println()
+	fmt.Printf("%-8s | %10s %10s %8s | %10s %10s %8s | %6s %6s %6s",
 		"", "mm²", "mm²", "mm", "mm²", "mm²", "mm", "%", "%", "%")
+	if tgt != lily.TargetASIC {
+		fmt.Printf(" | %9s %8s", "LUTs", "mm")
+	}
+	fmt.Println()
 	var sumMI, sumMC, sumMW, sumLI, sumLC, sumLW float64
+	var sumFN int
 	var gi, gc, gw float64 // geometric-mean accumulators (log-free: products)
 	count := 0
 	for _, name := range names {
-		m, l := rows[name].reap()
-		fmt.Printf("%-8s | %10.3f %10.3f %8.2f | %10.3f %10.3f %8.2f | %+6.1f %+6.1f %+6.1f\n",
+		m, l, f := rows[name].reap()
+		fmt.Printf("%-8s | %10.3f %10.3f %8.2f | %10.3f %10.3f %8.2f | %+6.1f %+6.1f %+6.1f",
 			name, m.ActiveAreaMM2, m.ChipAreaMM2, m.WirelengthMM,
 			l.ActiveAreaMM2, l.ChipAreaMM2, l.WirelengthMM,
 			pct(l.ActiveAreaMM2, m.ActiveAreaMM2),
 			pct(l.ChipAreaMM2, m.ChipAreaMM2),
 			pct(l.WirelengthMM, m.WirelengthMM))
+		if f != nil {
+			fmt.Printf(" | %9d %8.2f", f.Gates, f.WirelengthMM)
+			sumFN += f.Gates
+		}
+		fmt.Println()
 		sumMI += m.ActiveAreaMM2
 		sumMC += m.ChipAreaMM2
 		sumMW += m.WirelengthMM
@@ -273,25 +339,37 @@ func runTable1(names []string, rows map[string]row) {
 		gw += pct(l.WirelengthMM, m.WirelengthMM)
 		count++
 	}
-	fmt.Printf("%-8s | %10.3f %10.3f %8.2f | %10.3f %10.3f %8.2f | %+6.1f %+6.1f %+6.1f\n",
+	fmt.Printf("%-8s | %10.3f %10.3f %8.2f | %10.3f %10.3f %8.2f | %+6.1f %+6.1f %+6.1f",
 		"TOTAL", sumMI, sumMC, sumMW, sumLI, sumLC, sumLW,
 		pct(sumLI, sumMI), pct(sumLC, sumMC), pct(sumLW, sumMW))
+	if tgt != lily.TargetASIC {
+		fmt.Printf(" | %9d %8s", sumFN, "")
+	}
+	fmt.Println()
 	fmt.Printf("average per-circuit change: inst %+.1f%%  chip %+.1f%%  WL %+.1f%%\n",
 		gi/float64(count), gc/float64(count), gw/float64(count))
 	fmt.Println("paper reports: inst +1.9%  chip -5%  WL -7% (averages)")
 }
 
-func runTable2(names []string, rows map[string]row) {
+func runTable2(names []string, rows map[string]row, tgt lily.TechnologyTarget) {
 	fmt.Println("Table 2: timing mode — MIS2.1 vs Lily (instance area, longest path delay)")
-	fmt.Printf("%-8s | %10s %8s | %10s %8s | %6s %6s\n",
+	fmt.Printf("%-8s | %10s %8s | %10s %8s | %6s %6s",
 		"Ex.", "mis inst", "mis dly", "lily inst", "lily dly", "Δinst", "Δdly")
+	if tgt != lily.TargetASIC {
+		fmt.Printf(" | %9s %8s", tgt.String()+" n", tgt.String()+" dly")
+	}
+	fmt.Println()
 	var sumMD, sumLD, dAcc float64
 	count := 0
 	for _, name := range names {
-		m, l := rows[name].reap()
-		fmt.Printf("%-8s | %10.3f %8.2f | %10.3f %8.2f | %+6.1f %+6.1f\n",
+		m, l, f := rows[name].reap()
+		fmt.Printf("%-8s | %10.3f %8.2f | %10.3f %8.2f | %+6.1f %+6.1f",
 			name, m.ActiveAreaMM2, m.DelayNS, l.ActiveAreaMM2, l.DelayNS,
 			pct(l.ActiveAreaMM2, m.ActiveAreaMM2), pct(l.DelayNS, m.DelayNS))
+		if f != nil {
+			fmt.Printf(" | %9d %8.2f", f.Gates, f.DelayNS)
+		}
+		fmt.Println()
 		sumMD += m.DelayNS
 		sumLD += l.DelayNS
 		dAcc += pct(l.DelayNS, m.DelayNS)

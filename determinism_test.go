@@ -157,6 +157,11 @@ func TestMappedBLIFGOMAXPROCSInvariant(t *testing.T) {
 		// winner selection must also be schedule-independent.
 		{"misex1", lily.FlowOptions{Mapper: lily.MapperLily, AutoTune: true}},
 		{"b9", lily.FlowOptions{Mapper: lily.MapperLily, Objective: lily.ObjectiveArea}},
+		// The LUT backend shares the wave-parallel commit machinery, so
+		// both tile sizes get the same byte-identity soak as ASIC.
+		{"b9", lily.FlowOptions{Mapper: lily.MapperLily, Objective: lily.ObjectiveArea, Target: lily.TargetLUT4}},
+		{"b9", lily.FlowOptions{Mapper: lily.MapperLily, Objective: lily.ObjectiveDelay, Target: lily.TargetLUT6}},
+		{"misex1", lily.FlowOptions{Mapper: lily.MapperLily, Objective: lily.ObjectiveArea, Target: lily.TargetLUT6}},
 	}
 	if testing.Short() {
 		cases = cases[:1]
@@ -178,8 +183,8 @@ func TestMappedBLIFGOMAXPROCSInvariant(t *testing.T) {
 					continue
 				}
 				if !bytes.Equal(want, got) {
-					t.Errorf("%s/%v: GOMAXPROCS=%d Parallelism=%d changed the mapped BLIF (%d vs %d bytes)",
-						tc.name, tc.opt.Objective, procs, par, len(want), len(got))
+					t.Errorf("%s/%v@%v: GOMAXPROCS=%d Parallelism=%d changed the mapped BLIF (%d vs %d bytes)",
+						tc.name, tc.opt.Objective, tc.opt.Target, procs, par, len(want), len(got))
 				}
 			}
 		}

@@ -63,6 +63,12 @@ func goldenKey(circuit string, obj lily.Objective) string {
 	return fmt.Sprintf("%s/%s", circuit, obj)
 }
 
+// lutGoldenKey names a LUT-target golden. ASIC keys keep the historical
+// two-part form so the PR 8 entries (and hashes) survive verbatim.
+func lutGoldenKey(circuit string, obj lily.Objective, tgt lily.TechnologyTarget) string {
+	return fmt.Sprintf("%s/%s/%s", circuit, obj, tgt)
+}
+
 func loadGoldens(t *testing.T) map[string]goldenEntry {
 	t.Helper()
 	data, err := os.ReadFile(goldenPath)
@@ -91,9 +97,9 @@ func writeGoldens(t *testing.T, m map[string]goldenEntry) {
 	t.Logf("wrote %d goldens to %s", len(m), goldenPath)
 }
 
-// mapGolden runs the Lily pipeline for one (circuit, objective) with formal
-// equivalence checking enabled and returns the pinned entry.
-func mapGolden(t *testing.T, circuit string, obj lily.Objective) goldenEntry {
+// mapGolden runs the Lily pipeline for one (circuit, objective, target)
+// with formal equivalence checking enabled and returns the pinned entry.
+func mapGolden(t *testing.T, circuit string, obj lily.Objective, tgt lily.TechnologyTarget) goldenEntry {
 	t.Helper()
 	c, err := lily.GenerateBenchmark(circuit)
 	if err != nil {
@@ -103,6 +109,7 @@ func mapGolden(t *testing.T, circuit string, obj lily.Objective) goldenEntry {
 	res, err := lily.WriteMappedBLIF(c, lily.FlowOptions{
 		Mapper:            lily.MapperLily,
 		Objective:         obj,
+		Target:            tgt,
 		VerifyEquivalence: true, // internal/equiv: BDD with simulation fallback
 	}, &buf)
 	if err != nil {
@@ -119,18 +126,39 @@ func mapGolden(t *testing.T, circuit string, obj lily.Objective) goldenEntry {
 	}
 }
 
+// goldenCases enumerates the pinned (objective, target, key) grid: the
+// ASIC target at both objectives (the paper's tables), and each LUT
+// target in area mode (LUT count is the FPGA resource metric; delay-mode
+// LUT output is covered by the determinism soak).
+func goldenCases(circuit string) []struct {
+	obj lily.Objective
+	tgt lily.TechnologyTarget
+	key string
+} {
+	type gc = struct {
+		obj lily.Objective
+		tgt lily.TechnologyTarget
+		key string
+	}
+	return []gc{
+		{lily.ObjectiveArea, lily.TargetASIC, goldenKey(circuit, lily.ObjectiveArea)},
+		{lily.ObjectiveDelay, lily.TargetASIC, goldenKey(circuit, lily.ObjectiveDelay)},
+		{lily.ObjectiveArea, lily.TargetLUT4, lutGoldenKey(circuit, lily.ObjectiveArea, lily.TargetLUT4)},
+		{lily.ObjectiveArea, lily.TargetLUT6, lutGoldenKey(circuit, lily.ObjectiveArea, lily.TargetLUT6)},
+	}
+}
+
 // TestGoldenMapping is the table-driven golden harness: every benchmark
-// circuit, both objectives, verified and pinned.
+// circuit, both objectives, every technology target, verified and pinned.
 func TestGoldenMapping(t *testing.T) {
 	circuits := lily.BenchmarkNames()
 	sort.Strings(circuits)
-	objectives := []lily.Objective{lily.ObjectiveArea, lily.ObjectiveDelay}
 
 	if *updateGolden {
 		goldens := make(map[string]goldenEntry)
 		for _, circuit := range circuits {
-			for _, obj := range objectives {
-				goldens[goldenKey(circuit, obj)] = mapGolden(t, circuit, obj)
+			for _, c := range goldenCases(circuit) {
+				goldens[c.key] = mapGolden(t, circuit, c.obj, c.tgt)
 			}
 		}
 		writeGoldens(t, goldens)
@@ -139,17 +167,17 @@ func TestGoldenMapping(t *testing.T) {
 
 	goldens := loadGoldens(t)
 	for _, circuit := range circuits {
-		for _, obj := range objectives {
-			circuit, obj := circuit, obj
-			t.Run(goldenKey(circuit, obj), func(t *testing.T) {
+		for _, c := range goldenCases(circuit) {
+			circuit, c := circuit, c
+			t.Run(c.key, func(t *testing.T) {
 				if testing.Short() && shortSkip[circuit] {
 					t.Skipf("skipping %s under -short (covered by the full run)", circuit)
 				}
-				want, ok := goldens[goldenKey(circuit, obj)]
+				want, ok := goldens[c.key]
 				if !ok {
-					t.Fatalf("no golden for %s (refresh with -update-golden)", goldenKey(circuit, obj))
+					t.Fatalf("no golden for %s (refresh with -update-golden)", c.key)
 				}
-				got := mapGolden(t, circuit, obj)
+				got := mapGolden(t, circuit, c.obj, c.tgt)
 				if got.BLIFSHA256 != want.BLIFSHA256 {
 					t.Errorf("mapped BLIF hash drifted: got %s want %s\n"+
 						"the mapper's output changed — if intentional, refresh with -update-golden",

@@ -26,6 +26,7 @@ import (
 	"sort"
 
 	"lily/internal/cover"
+	"lily/internal/cut"
 	"lily/internal/geom"
 	"lily/internal/library"
 	"lily/internal/logic"
@@ -80,10 +81,63 @@ func (u UpdateRule) String() string {
 	}
 }
 
+// Target selects the implementation technology the cover DP maps onto.
+// The DP itself is target-agnostic: it chooses among candidate matches
+// supplied by a Backend, charging each the same placement-aware wire
+// cost. TargetASIC covers with library gates found by the structural
+// matcher (internal/match); the LUT targets cover with K-input lookup
+// tables found by K-feasible cut enumeration (internal/cut).
+type Target int
+
+const (
+	// TargetASIC maps onto the standard-cell library (the paper's flow).
+	TargetASIC Target = iota
+	// TargetLUT4 maps onto 4-input LUTs via K-feasible cuts.
+	TargetLUT4
+	// TargetLUT6 maps onto 6-input LUTs via K-feasible cuts.
+	TargetLUT6
+)
+
+func (t Target) String() string {
+	switch t {
+	case TargetLUT4:
+		return "lut4"
+	case TargetLUT6:
+		return "lut6"
+	default:
+		return "asic"
+	}
+}
+
+// LUTK returns the LUT input bound of a LUT target, or 0 for ASIC.
+func (t Target) LUTK() int {
+	switch t {
+	case TargetLUT4:
+		return 4
+	case TargetLUT6:
+		return 6
+	default:
+		return 0
+	}
+}
+
+// Backend supplies the candidate matches the covering DP chooses from.
+// Implementations must be deterministic and memoized: MatchesAt returns
+// the same read-only slice for the same node every call, and a memo hit
+// must be a pure read (the wave-parallel scheduler pre-warms the memo
+// sequentially, then shares one Backend across workers). The two
+// implementations are match.Matcher (ASIC) and cut.Enumerator (LUTs).
+type Backend interface {
+	MatchesAt(v logic.NodeID) []*match.Match
+}
+
 // Options tunes the Lily mapper.
 type Options struct {
 	Mode   Mode
 	Update UpdateRule
+	// Target selects the implementation technology (ASIC library cells
+	// or K-input LUTs); the covering engine is shared.
+	Target Target
 	// WireModel selects the net-length estimator of §3.4.
 	WireModel wire.Model
 	// WireWeight is the weight λ on the routing-area term of the cost
@@ -185,6 +239,9 @@ func mapPlaced(ctx context.Context, sub *logic.Network, lib *library.Library, pl
 	if opt.WireWeight < 0 {
 		return nil, fmt.Errorf("core: negative wire weight")
 	}
+	if opt.Target < TargetASIC || opt.Target > TargetLUT6 {
+		return nil, fmt.Errorf("core: unknown target %d", opt.Target)
+	}
 	// The cover phase: the paper's wire-aware DP over cones. The span is
 	// a no-op without a tracer in ctx (see internal/obs).
 	ctx, span := obs.StartSpan(ctx, "cover")
@@ -225,10 +282,17 @@ func newLily(ctx context.Context, sub *logic.Network, lib *library.Library, pl *
 	for i, po := range sub.POs {
 		poPadPts[po] = append(poPadPts[po], pl.POPads[sub.PONames[i]])
 	}
+	var be Backend
+	switch opt.Target {
+	case TargetLUT4, TargetLUT6:
+		be = cut.NewEnumerator(sub, lib, opt.Target.LUTK())
+	default:
+		be = match.NewMatcher(sub, lib)
+	}
 	return &lily{
 		ctx: ctx, fm: obs.FlowMetricsFrom(ctx),
 		sub: sub, lib: lib, opt: opt, pl: pl,
-		mt:            match.NewMatcher(sub, lib),
+		backend:       be,
 		ws:            wire.Get(),
 		state:         make([]State, n),
 		best:          make([]*match.Match, n),
@@ -273,13 +337,13 @@ type hawkRef struct {
 }
 
 type lily struct {
-	ctx context.Context
-	fm  *obs.FlowMetrics
-	sub *logic.Network
-	lib *library.Library
-	opt Options
-	mt  *match.Matcher
-	pl  *place.Result
+	ctx     context.Context
+	fm      *obs.FlowMetrics
+	sub     *logic.Network
+	lib     *library.Library
+	opt     Options
+	backend Backend
+	pl      *place.Result
 
 	state []State
 	// Tentative (nestling) dynamic-programming values.
@@ -489,10 +553,11 @@ func (lm *lily) processCone(root logic.NodeID) error {
 	return nil
 }
 
-// matchesAt returns the candidate matches rooted at v. The matcher memoizes
-// per node, so repeated cone visits pay the enumeration cost only once.
+// matchesAt returns the candidate matches rooted at v. The backend
+// memoizes per node, so repeated cone visits pay the enumeration cost
+// only once.
 func (lm *lily) matchesAt(v logic.NodeID) []*match.Match {
-	return lm.mt.AtNode(v)
+	return lm.backend.MatchesAt(v)
 }
 
 // evaluateNode picks the best match at a nestling.

@@ -106,7 +106,7 @@ func (lm *lily) planWaves(order []int) [][]int {
 // newWorker builds a wave worker: a shallow copy of the run that shares
 // the per-node value arrays (each wave's cones write disjoint slots of
 // state/best/cost/wCost/areaSum/mapPos/blockA) and the read-only inputs
-// (subject graph, library, matcher memo, positions, load hints), but
+// (subject graph, library, backend memo, positions, load hints), but
 // owns every piece of evaluation scratch — pooled wire buffers, match
 // geometry, merged/fan stamp sets, delay buffers — so no epoch cache or
 // scratch slice is ever touched by two goroutines. The private trace
@@ -149,12 +149,12 @@ type coneOutcome struct {
 // sequential commit tail. Errors surface in cone order: a failed cone
 // masks everything after it, exactly as the sequential loop would.
 func (lm *lily) runConesParallel(order []int) error {
-	// Pre-warm the matcher memo sequentially: match enumeration uses
-	// shared backtracking scratch, but a memo hit is a pure read. The
-	// sequential schedule enumerates the same nodes, just lazily.
+	// Pre-warm the backend memo sequentially: match and cut enumeration
+	// use shared scratch, but a memo hit is a pure read. The sequential
+	// schedule enumerates the same nodes, just lazily.
 	for id, nd := range lm.sub.Nodes {
 		if nd != nil && nd.Kind == logic.KindLogic {
-			lm.mt.AtNode(logic.NodeID(id))
+			lm.backend.MatchesAt(logic.NodeID(id))
 		}
 	}
 

@@ -46,7 +46,7 @@ func TestRequestDigestFormat(t *testing.T) {
 			t.Fatalf("digest %q contains non-lowercase-hex rune %q", got, r)
 		}
 	}
-	const want = "0efbcf617baa4b8cd9efd59a827f8a1529c9cf10edb68ba28f5c4a3c7bb3f275"
+	const want = "51346ff1b993d3bf7e84ae3eeccfed889ce44463020274de8d8d8c0b349aebaa"
 	if got != want {
 		t.Fatalf("digest format changed:\n got %s\nwant %s", got, want)
 	}
@@ -92,6 +92,17 @@ func TestRequestDigestSensitivity(t *testing.T) {
 	delay.Options.Objective = lily.ObjectiveDelay
 	if d, _ := RequestDigest(delay); d == d0 {
 		t.Fatalf("objective did not change digest")
+	}
+	lut := base
+	lut.Options.Target = lily.TargetLUT4
+	if d, _ := RequestDigest(lut); d == d0 {
+		t.Fatalf("target did not change digest: lut4 and asic results must not share a cache entry")
+	}
+	lut6 := base
+	lut6.Options.Target = lily.TargetLUT6
+	d4, _ := RequestDigest(lut)
+	if d, _ := RequestDigest(lut6); d == d4 {
+		t.Fatalf("lut4 and lut6 digests collide")
 	}
 }
 

@@ -326,6 +326,7 @@ func (e *Engine) Submit(ctx context.Context, req Request) (*Job, error) {
 	e.byID[j.id] = j
 	e.stats.Submitted++
 	e.metrics.submitted.Inc()
+	e.metrics.jobsByTarget.With(req.Options.Target.String()).Inc()
 	e.mu.Unlock()
 
 	if e.cfg.LoadShed {

@@ -14,6 +14,7 @@ import (
 // Engine metric names.
 const (
 	metricJobsTotal     = "lily_jobs_total"
+	metricJobsByTarget  = "lily_jobs_by_target_total"
 	metricSubmitted     = "lily_jobs_submitted_total"
 	metricQueueWait     = "lily_queue_wait_seconds"
 	metricCacheHits     = "lily_cache_hits_total"
@@ -33,18 +34,19 @@ const (
 
 // engineMetrics bundles the engine's registered instruments.
 type engineMetrics struct {
-	jobDuration *obs.Histogram  // terminal jobs, run time
-	queueWait   *obs.Histogram  // submit -> worker pickup
-	jobsTotal   *obs.CounterVec // by terminal state
-	submitted   *obs.Counter
-	cacheHits   *obs.Counter
-	cacheMisses *obs.Counter
-	remoteHits  *obs.Counter
-	deduped     *obs.Counter
-	dedupReruns *obs.Counter
-	shed        *obs.Counter
-	evicted     *obs.Counter
-	panics      *obs.Counter
+	jobDuration  *obs.Histogram  // terminal jobs, run time
+	queueWait    *obs.Histogram  // submit -> worker pickup
+	jobsTotal    *obs.CounterVec // by terminal state
+	jobsByTarget *obs.CounterVec // accepted jobs, by technology target
+	submitted    *obs.Counter
+	cacheHits    *obs.Counter
+	cacheMisses  *obs.Counter
+	remoteHits   *obs.Counter
+	deduped      *obs.Counter
+	dedupReruns  *obs.Counter
+	shed         *obs.Counter
+	evicted      *obs.Counter
+	panics       *obs.Counter
 }
 
 // registerMetrics installs the engine's instruments on r. Gauges are
@@ -58,6 +60,8 @@ func (e *Engine) registerMetrics(r *obs.Registry) *engineMetrics {
 			"Time jobs spent queued before a worker picked them up.", obs.DefBuckets),
 		jobsTotal: r.CounterVec(metricJobsTotal,
 			"Jobs reaching a terminal state, by state.", "state"),
+		jobsByTarget: r.CounterVec(metricJobsByTarget,
+			"Jobs accepted by Submit, by technology target (asic/lut4/lut6).", "target"),
 		submitted:   r.Counter(metricSubmitted, "Jobs accepted by Submit."),
 		cacheHits:   r.Counter(metricCacheHits, "Jobs answered from the local result cache."),
 		cacheMisses: r.Counter(metricCacheMisses, "Jobs that missed the local result cache."),

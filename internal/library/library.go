@@ -276,6 +276,54 @@ func build(name string, specs []gateSpec, maxPatternsPerGate int) *Library {
 	return lib
 }
 
+// LUT technology constants, following the same 1µ scaling as the cell
+// specs above: a K-input lookup table is a fixed mux tree plus 2^K
+// configuration bits, so its footprint has a constant part and a part
+// proportional to the bit count, and its pin-to-output delay is
+// function-independent (every input drives the same select network).
+const (
+	lutBaseWidthUm = 20.0 // select tree + output driver
+	lutBitWidthUm  = 3.0  // per configuration bit
+	lutDrive       = 0.9  // output driver strength relative to a 1x cell
+)
+
+// NewLUT constructs a lookup-table cell implementing the given cover
+// inside a tileK-input LUT tile (cover.NumInputs <= tileK <= 6). The
+// footprint and delay are those of the tile, not the function: an FPGA
+// logic element is a fixed resource, so a 2-input function in a 6-LUT
+// occupies a whole 6-LUT — which is what makes minimizing LUT count the
+// area objective. LUT cells carry no pattern graphs (they are
+// synthesized on demand by the cut enumerator in internal/cut, not
+// matched structurally), and their delay model is pin-uniform: the
+// select tree gives every input the same path to the output, with
+// intrinsic delay growing in the tree depth tileK.
+func NewLUT(name string, cover logic.SOP, tileK int) *Gate {
+	k := cover.NumInputs
+	if tileK < k {
+		panic(fmt.Sprintf("library: %d-input cover does not fit a %d-LUT tile", k, tileK))
+	}
+	width := lutBaseWidthUm + lutBitWidthUm*float64(uint(1)<<tileK)
+	g := &Gate{
+		Name:      name,
+		NumInputs: k,
+		Width:     width,
+		Height:    rowHeightUm,
+		Area:      width * rowHeightUm,
+		InputCap:  inputCapPF,
+		Cover:     cover,
+	}
+	g.Unate = computeUnateness(g.Cover)
+	for i := 0; i < k; i++ {
+		g.Timing = append(g.Timing, PinTiming{
+			IntrinsicRise: baseIntr * (0.6 + 0.3*float64(tileK)) * 1.1,
+			IntrinsicFall: baseIntr * (0.6 + 0.3*float64(tileK)),
+			ResistRise:    baseResist / lutDrive * 1.15,
+			ResistFall:    baseResist / lutDrive,
+		})
+	}
+	return g
+}
+
 // buildBuffer constructs the pattern-less buffer cell. A buffer's
 // NAND2/INV pattern would be the empty INV pair, which premapping always
 // cancels, so it is excluded from matching by construction.

@@ -169,7 +169,7 @@ const ModulePath = "lily"
 // mapping results (covers, placements, wire-cost tables): maporder
 // applies here. Paths are relative to the module root.
 var DeterministicPackages = []string{
-	"internal/logic", "internal/decomp", "internal/match", "internal/cover",
+	"internal/logic", "internal/decomp", "internal/match", "internal/cut", "internal/cover",
 	"internal/place", "internal/wire", "internal/timing", "internal/fanout",
 	"internal/layout", "internal/opt", "internal/mis", "internal/core",
 	"internal/netlist", "internal/library", "internal/equiv",

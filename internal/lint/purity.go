@@ -34,6 +34,7 @@ type PurityConfig struct {
 var defaultPurityConfig = PurityConfig{
 	RootPackages: []string{
 		ModulePath + "/internal/cover",
+		ModulePath + "/internal/cut",
 		ModulePath + "/internal/wire",
 		ModulePath + "/internal/timing",
 		ModulePath + "/internal/place",

@@ -372,3 +372,7 @@ func Verify(net *logic.Network, m *Match) error {
 	}
 	return nil
 }
+
+// MatchesAt makes Matcher a covering-engine backend (core.Backend): it
+// is AtNode under the interface's name.
+func (mt *Matcher) MatchesAt(v logic.NodeID) []*Match { return mt.AtNode(v) }

@@ -257,12 +257,12 @@ func perimeterPoint(die geom.Rect, d float64) geom.Point {
 }
 
 type placer struct {
-	ctx       context.Context
-	net       *logic.Network
-	cfg       Config
-	die       geom.Rect
-	movable   []logic.NodeID
-	idx       map[logic.NodeID]int
+	ctx     context.Context
+	net     *logic.Network
+	cfg     Config
+	die     geom.Rect
+	movable []logic.NodeID
+	idx     map[logic.NodeID]int
 	// idxArr is the dense mirror of idx (-1 for non-movable node IDs);
 	// pinIndex sits inside the per-region net projection loops, where
 	// the map lookup dominated the partition profile.

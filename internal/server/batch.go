@@ -199,6 +199,9 @@ func (s *Server) handleBatchSubmit(w http.ResponseWriter, r *http.Request) {
 	// in the middle cannot leave half a batch running.
 	ereqs := make([]engine.Request, len(req.Jobs))
 	for i, jr := range req.Jobs {
+		if jr.Options.Target == "" {
+			jr.Options.Target = s.defaultTarget.String()
+		}
 		opt, err := jr.Options.ToFlowOptions()
 		if err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("job %d: %w", i, err))

@@ -80,6 +80,10 @@ type Server struct {
 	nodeID string
 	clu    *cluster.Cluster // nil outside cluster mode
 
+	// defaultTarget fills JobOptions.Target when a request leaves it
+	// empty. Zero value is TargetASIC, the historical behavior.
+	defaultTarget lily.TechnologyTarget
+
 	// Logger, when set before the server starts handling traffic, gets
 	// one structured record per request (route, method, path, status,
 	// duration). Nil disables request logging.
@@ -96,6 +100,14 @@ type Option func(*Server)
 // WithNodeID sets the stable node identifier reported in /v1/stats and
 // batch results. Defaults to "solo" outside cluster mode.
 func WithNodeID(id string) Option { return func(s *Server) { s.nodeID = id } }
+
+// WithDefaultTarget sets the technology target substituted into jobs
+// that do not name one (lilyd -target). The substitution happens before
+// option validation — and therefore before digest computation, so a node
+// started with -target lut4 keys its cache under the lut4 digests.
+func WithDefaultTarget(t lily.TechnologyTarget) Option {
+	return func(s *Server) { s.defaultTarget = t }
+}
 
 // WithCluster attaches the peer layer: /v1/stats grows a cluster health
 // block and the node ID defaults to the cluster's self ID. The cache-peek
@@ -226,6 +238,7 @@ type JobOptions struct {
 	Mapper                    string  `json:"mapper,omitempty"`    // "lily" (default) | "mis"
 	Objective                 string  `json:"objective,omitempty"` // "area" (default) | "delay"
 	Library                   string  `json:"library,omitempty"`   // "big" (default) | "tiny"
+	Target                    string  `json:"target,omitempty"`    // "asic" (default) | "lut4" | "lut6"
 	WireWeight                float64 `json:"wire_weight,omitempty"`
 	AutoTune                  bool    `json:"autotune,omitempty"`
 	Verify                    bool    `json:"verify,omitempty"`
@@ -272,6 +285,14 @@ func (o JobOptions) ToFlowOptions() (lily.FlowOptions, error) {
 	default:
 		return opt, fmt.Errorf("unknown library %q (want \"big\" or \"tiny\")", o.Library)
 	}
+	target, err := lily.ParseTechnologyTarget(o.Target)
+	if err != nil {
+		return opt, err
+	}
+	if target != lily.TargetASIC && opt.Mapper != lily.MapperLily {
+		return opt, fmt.Errorf("target %q requires the lily mapper", o.Target)
+	}
+	opt.Target = target
 	if o.WireWeight < 0 {
 		return opt, fmt.Errorf("wire_weight must be >= 0")
 	}
@@ -340,6 +361,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err := dec.Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
+	}
+	if req.Options.Target == "" {
+		req.Options.Target = s.defaultTarget.String()
 	}
 	opt, err := req.Options.ToFlowOptions()
 	if err != nil {

@@ -147,6 +147,49 @@ func (o Objective) String() string {
 	return "area"
 }
 
+// TechnologyTarget selects the implementation technology of the mapped
+// netlist: the standard-cell library (the paper's flow) or K-input LUTs
+// chosen by K-feasible cut enumeration on the same layout-driven
+// covering engine. LUT targets require MapperLily.
+type TechnologyTarget int
+
+const (
+	// TargetASIC maps onto the standard-cell library (default).
+	TargetASIC TechnologyTarget = iota
+	// TargetLUT4 maps onto 4-input LUTs.
+	TargetLUT4
+	// TargetLUT6 maps onto 6-input LUTs.
+	TargetLUT6
+)
+
+func (t TechnologyTarget) String() string {
+	switch t {
+	case TargetLUT4:
+		return "lut4"
+	case TargetLUT6:
+		return "lut6"
+	default:
+		return "asic"
+	}
+}
+
+// ParseTechnologyTarget maps the CLI/API spelling of a target to its
+// value; the empty string is TargetASIC. The error lists the accepted
+// values, so the lilyd/tables/lilymap flags and the HTTP 400 path share
+// one message.
+func ParseTechnologyTarget(s string) (TechnologyTarget, error) {
+	switch s {
+	case "", "asic":
+		return TargetASIC, nil
+	case "lut4":
+		return TargetLUT4, nil
+	case "lut6":
+		return TargetLUT6, nil
+	default:
+		return TargetASIC, fmt.Errorf("unknown target %q (want \"asic\", \"lut4\", or \"lut6\")", s)
+	}
+}
+
 // LibraryChoice selects the target cell library.
 type LibraryChoice int
 
@@ -193,6 +236,11 @@ type FlowOptions struct {
 	Mapper    Mapper
 	Objective Objective
 	Library   LibraryChoice
+	// Target selects the implementation technology: TargetASIC (default)
+	// covers with library gates, TargetLUT4/TargetLUT6 with K-input LUTs
+	// (MapperLily only). Semantically significant: the engine's request
+	// digest includes it, so different targets never share a cache entry.
+	Target TechnologyTarget
 	// WireWeight is Lily's λ on the routing-area cost term (default 1).
 	WireWeight float64
 	// Update is Lily's placement-update rule.
@@ -267,6 +315,8 @@ type FlowResult struct {
 	Circuit   string
 	Mapper    Mapper
 	Objective Objective
+	// Target is the implementation technology the run mapped onto.
+	Target TechnologyTarget
 
 	// Gates is the mapped cell count.
 	Gates int
@@ -296,8 +346,12 @@ type FlowResult struct {
 }
 
 func (r *FlowResult) String() string {
-	return fmt.Sprintf("%s/%s/%s: gates=%d inst=%.3fmm² chip=%.3fmm² wl=%.2fmm delay=%.2fns",
-		r.Circuit, r.Mapper, r.Objective, r.Gates, r.ActiveAreaMM2, r.ChipAreaMM2,
+	target := ""
+	if r.Target != TargetASIC {
+		target = "@" + r.Target.String()
+	}
+	return fmt.Sprintf("%s/%s/%s%s: gates=%d inst=%.3fmm² chip=%.3fmm² wl=%.2fmm delay=%.2fns",
+		r.Circuit, r.Mapper, r.Objective, target, r.Gates, r.ActiveAreaMM2, r.ChipAreaMM2,
 		r.WirelengthMM, r.DelayNS)
 }
 
@@ -454,6 +508,12 @@ func runPipeline(ctx context.Context, c *Circuit, opt FlowOptions) (*FlowResult,
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
+	if opt.Target < TargetASIC || opt.Target > TargetLUT6 {
+		return nil, nil, fmt.Errorf("lily: unknown target %d", opt.Target)
+	}
+	if opt.Target != TargetASIC && opt.Mapper != MapperLily {
+		return nil, nil, fmt.Errorf("lily: target %s requires the lily mapper", opt.Target)
+	}
 	lib := library.Big()
 	if opt.Library == LibraryTiny {
 		lib = library.Tiny()
@@ -502,6 +562,7 @@ func runPipeline(ctx context.Context, c *Circuit, opt FlowOptions) (*FlowResult,
 	switch opt.Mapper {
 	case MapperLily:
 		copt := core.DefaultOptions(coreMode(opt.Objective))
+		copt.Target = coreTarget(opt.Target)
 		copt.WireWeight = opt.WireWeight
 		copt.Update = coreUpdate(opt.Update)
 		copt.WireModel = wireModel(opt.Estimator)
@@ -620,6 +681,7 @@ func runPipeline(ctx context.Context, c *Circuit, opt FlowOptions) (*FlowResult,
 		Circuit:            c.net.Name,
 		Mapper:             opt.Mapper,
 		Objective:          opt.Objective,
+		Target:             opt.Target,
 		Gates:              len(nl.Cells),
 		GateHistogram:      nl.Stat().ByGate,
 		ActiveAreaMM2:      lres.ActiveAreaMM2(),
@@ -659,6 +721,17 @@ func misMode(o Objective) mis.Mode {
 		return mis.ModeDelay
 	}
 	return mis.ModeArea
+}
+
+func coreTarget(t TechnologyTarget) core.Target {
+	switch t {
+	case TargetLUT4:
+		return core.TargetLUT4
+	case TargetLUT6:
+		return core.TargetLUT6
+	default:
+		return core.TargetASIC
+	}
 }
 
 func coreUpdate(u PlacementUpdate) core.UpdateRule {

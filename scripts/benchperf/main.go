@@ -49,6 +49,7 @@ type benchTarget struct {
 var targets = []benchTarget{
 	{Pattern: "^BenchmarkPipelineC5315$", Pkg: "."},
 	{Pattern: "^BenchmarkPipelineC5315Parallel$", Pkg: "."},
+	{Pattern: "^BenchmarkPipelineC5315LUT[46]$", Pkg: "."},
 	{Pattern: "^BenchmarkTable1Full$", Pkg: "."},
 	{Pattern: "^BenchmarkEngineSuite$", Pkg: "./internal/engine/"},
 }
@@ -75,6 +76,10 @@ type snapshot struct {
 	// over wireEvalCircuits, read from the lily_wire_cost_evaluations
 	// counter (internal/obs). Deterministic across machines.
 	WireCostEvaluations uint64 `json:"wire_cost_evaluations"`
+	// WireCostEvaluationsByTarget is the same probe per technology
+	// target ("asic" repeats WireCostEvaluations; "lut4"/"lut6" run the
+	// cut backend). Each is deterministic, so each gates at -tolerance.
+	WireCostEvaluationsByTarget map[string]uint64 `json:"wire_cost_evaluations_by_target,omitempty"`
 	// ConesMapped is the committed-cone count over the same sample.
 	ConesMapped uint64 `json:"cones_mapped"`
 	// NumCPU records the host width the snapshot was taken at, for
@@ -154,11 +159,19 @@ func collect() (*snapshot, error) {
 			return nil, err
 		}
 	}
-	evals, cones, err := wireEvals()
-	if err != nil {
-		return nil, err
+	snap.WireCostEvaluationsByTarget = make(map[string]uint64, 3)
+	var cones uint64
+	for _, tgt := range []lily.TechnologyTarget{lily.TargetASIC, lily.TargetLUT4, lily.TargetLUT6} {
+		evals, c, err := wireEvals(tgt)
+		if err != nil {
+			return nil, err
+		}
+		snap.WireCostEvaluationsByTarget[tgt.String()] = evals
+		if tgt == lily.TargetASIC {
+			snap.WireCostEvaluations = evals
+			cones = c
+		}
 	}
-	snap.WireCostEvaluations = evals
 	snap.ConesMapped = cones
 	snap.NumCPU = runtime.NumCPU()
 	seq, par := snap.Benchmarks["PipelineC5315"], snap.Benchmarks["PipelineC5315Parallel"]
@@ -235,9 +248,10 @@ func parseBenchLine(line string) (string, result, bool) {
 	return name, r, seen
 }
 
-// wireEvals maps the fixed circuit sample in-process with a registered
-// flow-metrics bundle and reads back the counters the mapper bumps.
-func wireEvals() (evals, cones uint64, err error) {
+// wireEvals maps the fixed circuit sample in-process at one technology
+// target with a registered flow-metrics bundle and reads back the
+// counters the mapper bumps.
+func wireEvals(tgt lily.TechnologyTarget) (evals, cones uint64, err error) {
 	reg := obs.NewRegistry()
 	fm := obs.RegisterFlowMetrics(reg)
 	ctx := obs.ContextWithFlowMetrics(context.Background(), fm)
@@ -246,8 +260,8 @@ func wireEvals() (evals, cones uint64, err error) {
 		if err != nil {
 			return 0, 0, err
 		}
-		if _, err := lily.RunFlowContext(ctx, c, lily.FlowOptions{Mapper: lily.MapperLily}); err != nil {
-			return 0, 0, fmt.Errorf("wire-eval probe on %s: %w", name, err)
+		if _, err := lily.RunFlowContext(ctx, c, lily.FlowOptions{Mapper: lily.MapperLily, Target: tgt}); err != nil {
+			return 0, 0, fmt.Errorf("wire-eval probe on %s@%s: %w", name, tgt, err)
 		}
 	}
 	return fm.WireEvals.Value(), fm.ConesMapped.Value(), nil
@@ -288,6 +302,23 @@ func compare(base, cur *snapshot, tol, timeTol, minNs float64) []string {
 	if msg := exceeds("wire-eval probe", "wire_cost_evaluations",
 		float64(base.WireCostEvaluations), float64(cur.WireCostEvaluations), tol); msg != "" {
 		errs = append(errs, msg)
+	}
+	tgts := make([]string, 0, len(base.WireCostEvaluationsByTarget))
+	for t := range base.WireCostEvaluationsByTarget {
+		tgts = append(tgts, t)
+	}
+	sort.Strings(tgts)
+	for _, t := range tgts {
+		b := base.WireCostEvaluationsByTarget[t]
+		c, ok := cur.WireCostEvaluationsByTarget[t]
+		if !ok {
+			errs = append(errs, fmt.Sprintf("wire-eval probe @%s: present in baseline, missing from this run", t))
+			continue
+		}
+		if msg := exceeds("wire-eval probe @"+t, "wire_cost_evaluations",
+			float64(b), float64(c), tol); msg != "" {
+			errs = append(errs, msg)
+		}
 	}
 	return errs
 }
