@@ -5,7 +5,7 @@
 GO ?= go
 BIN ?= bin
 
-.PHONY: all build test lint lint-selfcheck race soak smoke cluster-smoke bench perf perfcheck cover fuzz fmt clean
+.PHONY: all build test lint lint-selfcheck race soak smoke cluster-smoke scale-smoke bench perf perfcheck cover fuzz fmt clean
 
 all: build test lint
 
@@ -42,6 +42,15 @@ cluster-smoke:
 	$(GO) test -race ./internal/cluster/
 	$(GO) test -race -run 'TestThreeNode|TestCachePeek|TestClusterJob|TestBatch' ./internal/server/
 	$(GO) test -race -run TestClusterSmoke .
+
+# Frontier-scale smoke (ROADMAP "production scale"): the seeded
+# 100k-gate generated circuit through the complete pipeline twice, each
+# run under a 60-second wall-clock budget, the two mapped-BLIF outputs
+# byte-identical. Deliberately without -race — the budget measures the
+# pipeline, not the detector.
+scale-smoke:
+	LILY_SCALE_PROFILE=gen100k LILY_SCALE_BUDGET_S=60 \
+		$(GO) test -run TestScaleSmoke -v -timeout 600s -count=1 .
 
 # Single-iteration pass over the engine + obs benchmarks so they keep
 # compiling and running (BenchmarkDisabledTracer reports allocs/op).

@@ -4,8 +4,10 @@
 //
 // Usage:
 //
-//	benchgen -out ./blif          # whole suite
+//	benchgen -out ./blif                # paper suite
 //	benchgen -out ./blif -only C432
+//	benchgen -out ./blif -scale        # 50k–500k-gate scale suite
+//	benchgen -out ./blif -only gen100k
 package main
 
 import (
@@ -19,10 +21,14 @@ import (
 
 func main() {
 	out := flag.String("out", ".", "output directory")
-	only := flag.String("only", "", "emit a single circuit")
+	only := flag.String("only", "", "emit a single circuit (paper or scale suite)")
+	scale := flag.Bool("scale", false, "emit the 50k–500k-gate scale suite instead of the paper suite")
 	flag.Parse()
 
 	names := lily.BenchmarkNames()
+	if *scale {
+		names = lily.ScaleBenchmarkNames()
+	}
 	if *only != "" {
 		names = []string{*only}
 	}

@@ -99,6 +99,8 @@ func main() {
 	probeEvery := flag.Duration("probe-interval", 2*time.Second, "peer health-probe cadence")
 	targetFlag := flag.String("target", "asic",
 		"technology target for jobs that don't set options.target: asic, lut4, or lut6")
+	mlThreshold := flag.Int("multilevel-threshold", 0,
+		"placement V-cycle threshold for jobs that don't set options.multilevel_threshold (0 = library default 25000, negative disables)")
 	flag.Parse()
 
 	logger, err := newLogger(*logFormat)
@@ -174,6 +176,9 @@ func main() {
 	eng := engine.New(engCfg)
 
 	srvOpts := []server.Option{server.WithDefaultTarget(defaultTarget)}
+	if *mlThreshold != 0 {
+		srvOpts = append(srvOpts, server.WithDefaultMultilevelThreshold(*mlThreshold))
+	}
 	if clu != nil {
 		srvOpts = append(srvOpts, server.WithCluster(clu))
 	} else if *nodeID != "" {

@@ -97,6 +97,25 @@ func writeGoldens(t *testing.T, m map[string]goldenEntry) {
 	t.Logf("wrote %d goldens to %s", len(m), goldenPath)
 }
 
+// mergeGoldens folds freshly computed entries into the stored golden
+// file, preserving every key the current run did not produce. Refreshes
+// merge rather than rebuild so `-update-golden` with a -run filter (or a
+// partial harness: paper suite, scale suite, generated-BLIF pins) cannot
+// silently drop the other harnesses' entries.
+func mergeGoldens(t *testing.T, entries map[string]goldenEntry) {
+	t.Helper()
+	m := make(map[string]goldenEntry)
+	if data, err := os.ReadFile(goldenPath); err == nil {
+		if err := json.Unmarshal(data, &m); err != nil {
+			t.Fatalf("parse %s: %v", goldenPath, err)
+		}
+	}
+	for k, v := range entries {
+		m[k] = v
+	}
+	writeGoldens(t, m)
+}
+
 // mapGolden runs the Lily pipeline for one (circuit, objective, target)
 // with formal equivalence checking enabled and returns the pinned entry.
 func mapGolden(t *testing.T, circuit string, obj lily.Objective, tgt lily.TechnologyTarget) goldenEntry {
@@ -161,7 +180,7 @@ func TestGoldenMapping(t *testing.T) {
 				goldens[c.key] = mapGolden(t, circuit, c.obj, c.tgt)
 			}
 		}
-		writeGoldens(t, goldens)
+		mergeGoldens(t, goldens)
 		return
 	}
 

@@ -1,0 +1,247 @@
+package bench
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"lily/internal/logic"
+)
+
+// TestScaleProfilesGenerate checks the structural contract of every scale
+// profile: exact PI/PO counts, bounded fanin, a node count near the
+// budget, acyclicity, and non-trivial depth. The two largest profiles are
+// skipped in -short runs.
+func TestScaleProfilesGenerate(t *testing.T) {
+	for _, p := range ScaleProfiles() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			if testing.Short() && p.Nodes > 50000 {
+				t.Skip("large profile skipped in -short mode")
+			}
+			n := Generate(p)
+			if err := n.Check(); err != nil {
+				t.Fatalf("check: %v", err)
+			}
+			if _, err := n.TopoOrder(); err != nil {
+				t.Fatalf("not acyclic: %v", err)
+			}
+			s := n.Stat()
+			if s.PIs != p.PIs {
+				t.Errorf("PIs = %d, want %d", s.PIs, p.PIs)
+			}
+			if s.POs != p.POs {
+				t.Errorf("POs = %d, want %d", s.POs, p.POs)
+			}
+			lo, hi := p.Nodes*3/4, p.Nodes*5/4+8
+			if s.Logic < lo || s.Logic > hi {
+				t.Errorf("node count %d outside [%d,%d]", s.Logic, lo, hi)
+			}
+			if s.MaxFanin > p.MaxFanin {
+				t.Errorf("max fanin %d > %d", s.MaxFanin, p.MaxFanin)
+			}
+			if s.Depth < 10 {
+				t.Errorf("depth %d too shallow for realistic logic", s.Depth)
+			}
+		})
+	}
+}
+
+// TestScaleGenerateBytesDeterministic pins the byte-level determinism the
+// golden harness and the CI scale-smoke job rely on: two generations of
+// the same profile serialize to identical BLIF.
+func TestScaleGenerateBytesDeterministic(t *testing.T) {
+	p, ok := ProfileByName("gen50k")
+	if !ok {
+		t.Fatal("gen50k missing")
+	}
+	var a, b bytes.Buffer
+	if err := logic.WriteBLIF(&a, Generate(p)); err != nil {
+		t.Fatal(err)
+	}
+	if err := logic.WriteBLIF(&b, Generate(p)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("same seed produced different BLIF bytes (sha %x vs %x)",
+			sha256.Sum256(a.Bytes()), sha256.Sum256(b.Bytes()))
+	}
+}
+
+// TestScaleGenerateRoundTrip is the generator's equivalence self-check:
+// the BLIF serialization parses back to a network that computes the same
+// outputs as the in-memory original on random input vectors.
+func TestScaleGenerateRoundTrip(t *testing.T) {
+	p, ok := ProfileByName("mid5k")
+	if !ok {
+		t.Fatal("mid5k missing")
+	}
+	n := Generate(p)
+	var buf bytes.Buffer
+	if err := logic.WriteBLIF(&buf, n); err != nil {
+		t.Fatal(err)
+	}
+	back, err := logic.ParseBLIF(&buf)
+	if err != nil {
+		t.Fatalf("round-trip parse: %v", err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 32; trial++ {
+		in := make(map[string]bool, len(n.PIs))
+		for _, pi := range n.PIs {
+			in[n.Nodes[pi].Name] = rng.Intn(2) == 1
+		}
+		want, err := n.Eval(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := back.Eval(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, w := range want {
+			if got[name] != w {
+				t.Fatalf("trial %d: output %s = %t after round-trip, want %t", trial, name, got[name], w)
+			}
+		}
+	}
+}
+
+// TestTilingBoundsDepth checks the point of Profile.Tiles: partitioned
+// generation must not degenerate into the one deep chain the flat
+// recency-biased draw produces at scale. The tiled depth has to land far
+// below the flat depth at the same node budget.
+func TestTilingBoundsDepth(t *testing.T) {
+	p, ok := ProfileByName("gen50k")
+	if !ok {
+		t.Fatal("gen50k missing")
+	}
+	flat := p
+	flat.Tiles = 0
+	dTiled := Generate(p).Stat().Depth
+	dFlat := Generate(flat).Stat().Depth
+	if dTiled*3 > dFlat {
+		t.Errorf("tiled depth %d is not well below flat depth %d", dTiled, dFlat)
+	}
+}
+
+// TestTilingPreservesFlatPath pins that adding the Tiles knob left the
+// flat generator untouched: a paper-suite profile with Tiles forced to
+// zero produces the byte-identical network it always did (the golden
+// tables depend on this).
+func TestTilingPreservesFlatPath(t *testing.T) {
+	p, ok := ProfileByName("C5315")
+	if !ok {
+		t.Fatal("C5315 missing")
+	}
+	if p.Tiles != 0 {
+		t.Fatalf("paper profile %s unexpectedly tiled", p.Name)
+	}
+	var a, b bytes.Buffer
+	if err := logic.WriteBLIF(&a, Generate(p)); err != nil {
+		t.Fatal(err)
+	}
+	explicit := p
+	explicit.Tiles = 1 // one tile must take the flat path too
+	if err := logic.WriteBLIF(&b, Generate(explicit)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("Tiles=1 diverged from the flat generator")
+	}
+}
+
+// TestShareProperties checks the tile partitioner: parts always sum to
+// the total and differ by at most one.
+func TestShareProperties(t *testing.T) {
+	for _, tc := range []struct{ total, tiles int }{
+		{10, 3}, {192, 24}, {200000, 128}, {7, 7}, {5, 4}, {1, 1},
+	} {
+		sum, min, max := 0, tc.total, 0
+		for i := 0; i < tc.tiles; i++ {
+			s := share(tc.total, tc.tiles, i)
+			sum += s
+			if s < min {
+				min = s
+			}
+			if s > max {
+				max = s
+			}
+		}
+		if sum != tc.total {
+			t.Errorf("share(%d,%d) parts sum to %d", tc.total, tc.tiles, sum)
+		}
+		if max-min > 1 {
+			t.Errorf("share(%d,%d) parts differ by %d", tc.total, tc.tiles, max-min)
+		}
+	}
+}
+
+// TestScaleProfileNamesResolvable checks the public lookup path covers
+// the scale suite and that names stay unique across both suites.
+func TestScaleProfileNamesResolvable(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range Profiles() {
+		seen[p.Name] = true
+	}
+	for _, p := range ScaleProfiles() {
+		if seen[p.Name] {
+			t.Errorf("scale profile %s collides with the paper suite", p.Name)
+		}
+		if _, ok := ProfileByName(p.Name); !ok {
+			t.Errorf("scale profile %s not resolvable by name", p.Name)
+		}
+	}
+	if len(ScaleProfiles()) != 6 {
+		t.Errorf("scale suite has %d profiles, want 6", len(ScaleProfiles()))
+	}
+}
+
+// TestTiledCrossLinksExist checks the tiles are actually coupled: some
+// logic nodes must read signals created in an earlier tile (the PI name
+// sequence is interleaved with the node sequence, so a fanin PI with a
+// higher index than the tile's first PI pins the link structurally —
+// instead we count fanins whose creation order precedes the consumer's
+// tile block, via node IDs, which are allocated in creation order).
+func TestTiledCrossLinksExist(t *testing.T) {
+	p, ok := ProfileByName("mid5k")
+	if !ok {
+		t.Fatal("mid5k missing")
+	}
+	n := Generate(p)
+	// Tile block size in creation order (PIs + nodes interleave per tile,
+	// IDs are allocated sequentially, combiner nodes come after all tile
+	// signals of their block, so a gap larger than one tile's span means a
+	// cross-tile edge).
+	span := (p.PIs + p.Nodes) / p.Tiles * 2
+	crossEdges := 0
+	for _, nd := range n.Nodes {
+		if nd == nil || nd.Kind != logic.KindLogic {
+			continue
+		}
+		for _, f := range nd.Fanins {
+			if int(nd.ID)-int(f) > span {
+				crossEdges++
+				break
+			}
+		}
+	}
+	if crossEdges == 0 {
+		t.Error("tiled generation produced no cross-tile edges")
+	}
+}
+
+func ExampleScaleProfiles() {
+	for _, p := range ScaleProfiles() {
+		fmt.Printf("%s: %d nodes, %d tiles\n", p.Name, p.Nodes, p.Tiles)
+	}
+	// Output:
+	// mid5k: 2000 nodes, 4 tiles
+	// mid10k: 4000 nodes, 6 tiles
+	// gen50k: 20000 nodes, 24 tiles
+	// gen100k: 40000 nodes, 40 tiles
+	// gen200k: 80000 nodes, 64 tiles
+	// gen500k: 200000 nodes, 128 tiles
+}

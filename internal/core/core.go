@@ -289,7 +289,7 @@ func newLily(ctx context.Context, sub *logic.Network, lib *library.Library, pl *
 	default:
 		be = match.NewMatcher(sub, lib)
 	}
-	return &lily{
+	lm := &lily{
 		ctx: ctx, fm: obs.FlowMetricsFrom(ctx),
 		sub: sub, lib: lib, opt: opt, pl: pl,
 		backend:       be,
@@ -310,12 +310,18 @@ func newLily(ctx context.Context, sub *logic.Network, lib *library.Library, pl *
 		posArr:        posArr,
 		poPadPts:      poPadPts,
 		mergedStamp:   make([]uint32, n),
-		fanEpoch:      1,
+		fanVer:        make([]uint64, n),
 		fanStamp:      make([]uint64, n),
 		fanLists:      make([][]trueFanout, n),
+		fanHawkCnt:    make([]int32, n),
+		fanHawkRect:   make([]geom.Rect, n),
 		evalBlock:     new(timing.BlockArrival),
 		bestBlock:     new(timing.BlockArrival),
 	}
+	for i := range lm.fanVer {
+		lm.fanVer[i] = 1 // fanStamp starts at 0: first read rebuilds
+	}
+	return lm
 }
 
 // baseWidth returns the inchoate cell-width function (NAND2 and INV base
@@ -394,14 +400,31 @@ type lily struct {
 	// mergedStamp[v] == mergedEpoch).
 	mergedStamp []uint32
 	mergedEpoch uint32
-	// fanEpoch/fanStamp/fanLists cache the per-signal true-fanout lists.
-	// The epoch advances on every lifecycle transition except
-	// egg→nestling (both count as live consumers at unchanged positions)
-	// and on every global re-placement; a node's cached list is valid iff
-	// fanStamp[v] == fanEpoch.
-	fanEpoch uint64
+	// fanVer/fanStamp/fanLists cache the per-signal true-fanout lists.
+	// fanVer[v] counts the changes to signal v's list content: a lifecycle
+	// transition of a consumer c (other than egg→nestling — both count as
+	// live consumers at unchanged positions) bumps fanVer of every fanin
+	// of c, a commit bumps fanVer of the hawk's match inputs when their
+	// hawk-consumer entries are appended, and a global re-placement bumps
+	// every signal (all positions moved). A cached list is valid iff
+	// fanStamp[v] == fanVer[v], so transitions leave the lists of
+	// untouched signals warm — under the old whole-cache epoch, every
+	// reawakened dove invalidated every list in the run. fanVer is shared
+	// across the wave workers (each wave's transitions write only fanin
+	// slots inside its own cone supports, which are disjoint from every
+	// slot concurrent cones read); fanStamp and fanLists are private.
+	fanVer   []uint64
 	fanStamp []uint64
 	fanLists [][]trueFanout
+	// fanHawkCnt/fanHawkRect cache, per signal, the length of the hawk
+	// prefix of fanLists[v] and the enclosing rectangle of its positions
+	// (rebuilt with the list). Hawk entries never fail the merged-set
+	// exclusion test, so the area-mode geometry fast path folds the whole
+	// prefix in O(1): Rect.Extend keeps the first value on ties, which
+	// makes the min/max fold associative bit for bit, so extending by the
+	// cached prefix rectangle equals extending by each hawk in order.
+	fanHawkCnt  []int32
+	fanHawkRect []geom.Rect
 	// Delay-mode scratch: per-pin input arrivals, per-distinct-input
 	// arrivals, and a double-buffered block-arrival pair (evalBlock is
 	// filled per match; the buffers swap when a match takes the lead).
@@ -603,19 +626,25 @@ type trueFanout struct {
 // egg/nestling subject fanouts of vi. The list is unfiltered — callers
 // drop non-hawk entries covered by the current match (they are about to
 // disappear into gate(m)) via the merged-set stamp. Lists are cached per
-// node and invalidated by the fan epoch: every lifecycle transition except
-// egg→nestling changes the inclusion, position, or consumer sets and so
-// advances the epoch, as does a global re-placement.
+// signal and invalidated per signal: a list is rebuilt only after an
+// event that changes its own content bumped fanVer[vi] (see the field
+// comment). The rebuild also refreshes the hawk-prefix summaries the
+// area-mode geometry fast path folds in O(1).
 func (lm *lily) cachedFans(vi logic.NodeID) []trueFanout {
-	if lm.fanStamp[vi] == lm.fanEpoch {
+	if lm.fanStamp[vi] == lm.fanVer[vi] {
 		return lm.fanLists[vi]
 	}
 	out := lm.fanLists[vi][:0]
-	for _, hr := range lm.hawkConsumers[vi] {
+	hr := geom.EmptyRect()
+	for _, h := range lm.hawkConsumers[vi] {
+		p := lm.hawkPos[h.hawk]
 		out = append(out, trueFanout{
-			node: hr.hawk, pos: lm.hawkPos[hr.hawk], cap: hr.gate.InputCap, hawk: true,
+			node: h.hawk, pos: p, cap: h.gate.InputCap, hawk: true,
 		})
+		hr = hr.Extend(p)
 	}
+	lm.fanHawkCnt[vi] = int32(len(out))
+	lm.fanHawkRect[vi] = hr
 	for _, fo := range lm.sub.Fanouts(vi) {
 		st := lm.state[fo]
 		if st != StateEgg && st != StateNestling {
@@ -626,7 +655,7 @@ func (lm *lily) cachedFans(vi logic.NodeID) []trueFanout {
 		})
 	}
 	lm.fanLists[vi] = out
-	lm.fanStamp[vi] = lm.fanEpoch
+	lm.fanStamp[vi] = lm.fanVer[vi]
 	return out
 }
 
@@ -732,14 +761,35 @@ func (lm *lily) geometry(v logic.NodeID, m *match.Match) *matchGeometry {
 	// rectangle and the pin count (derived from fanOff), so skipping the
 	// per-pin appends here saves a pass over every candidate's fanouts.
 	needPts := lm.opt.WireModel != wire.ModelHPWLSteiner
+	// Area mode with the Steiner estimator reads nothing of fansBuf either
+	// (wireIncrement needs only the rectangle and the sink count), so its
+	// inner loop folds the cached hawk-prefix rectangle — hawks never fail
+	// the merged-set test — and scans just the short egg/nestling tail.
+	fastFans := !needPts && lm.opt.Mode == ModeArea
 	rects := lm.rects[:0]
 	for _, vi := range g.distinctIn {
 		p := lm.inputPos(vi)
+		r := geom.RectAround(p)
+		fans := lm.cachedFans(vi)
+		if fastFans {
+			cnt := int(lm.fanHawkCnt[vi])
+			r = r.Union(lm.fanHawkRect[vi])
+			for _, tf := range fans[cnt:] {
+				if lm.inMerged(tf.node) {
+					continue // fanout covered by m: disappears into gate(m)
+				}
+				cnt++
+				r = r.Extend(tf.pos)
+			}
+			g.fanOff = append(g.fanOff, g.fanOff[len(g.fanOff)-1]+cnt)
+			g.faninRect = append(g.faninRect, r)
+			rects = append(rects, r)
+			continue
+		}
 		if needPts {
 			g.ptsBuf = append(g.ptsBuf, p)
 		}
-		r := geom.RectAround(p)
-		for _, tf := range lm.cachedFans(vi) {
+		for _, tf := range fans {
 			if !tf.hawk && lm.inMerged(tf.node) {
 				continue // non-hawk fanout covered by m: disappears into gate(m)
 			}
@@ -1035,6 +1085,8 @@ func (lm *lily) commitCone(root logic.NodeID) error {
 		}
 		for _, vi := range dedupIDs(lm.best[v].Inputs) {
 			lm.hawkConsumers[vi] = append(lm.hawkConsumers[vi], hawkRef{hawk: v, gate: lm.best[v].Gate})
+			// Signal vi gained a hawk consumer: its cached list is stale.
+			lm.fanVer[vi]++
 		}
 	}
 	// Doves: interior nodes of freshly committed matches.

@@ -212,7 +212,7 @@ func TestTrueFanoutsUseHawkPositions(t *testing.T) {
 	lm.committed[yID] = invMatch
 	lm.hawkPos[yID] = geom.Point{X: 3, Y: 3}
 	lm.hawkConsumers[bID] = append(lm.hawkConsumers[bID], hawkRef{hawk: yID, gate: invMatch.Gate})
-	lm.fanEpoch++ // manual state mutation: invalidate like setState would
+	lm.fanVer[bID]++ // manual state mutation: invalidate like a commit would
 	fans = lm.cachedFans(bID)
 	foundHawk := false
 	for _, tf := range fans {
@@ -231,12 +231,14 @@ func TestTrueFanoutsUseHawkPositions(t *testing.T) {
 	}
 }
 
-// The fan cache returns the memoized list while the epoch is unchanged and
-// rebuilds after every transition that setState invalidates; egg→nestling
-// keeps the cache warm.
-func TestFanCacheEpochInvalidation(t *testing.T) {
+// The fan cache returns the memoized list while the signal's version is
+// unchanged and rebuilds after a consumer transition bumps it;
+// egg→nestling keeps the cache warm, and transitions leave the versions
+// of unrelated signals untouched.
+func TestFanCacheVersionInvalidation(t *testing.T) {
 	sub, lm := fixture(t)
 	bID := sub.NodeByName("b").ID
+	aID := sub.NodeByName("a").ID
 	xID := sub.NodeByName("x").ID
 	yID := sub.NodeByName("y").ID
 
@@ -244,28 +246,37 @@ func TestFanCacheEpochInvalidation(t *testing.T) {
 	if len(first) != 2 {
 		t.Fatalf("fanouts of b = %d, want 2", len(first))
 	}
-	epoch := lm.fanEpoch
-	// Egg→nestling must not advance the epoch: both states are live
+	ver := lm.fanVer[bID]
+	// Egg→nestling must not bump any version: both states are live
 	// consumers at unchanged positions.
 	if err := lm.setState(xID, StateNestling); err != nil {
 		t.Fatal(err)
 	}
-	if lm.fanEpoch != epoch {
-		t.Fatalf("egg→nestling advanced the fan epoch %d -> %d", epoch, lm.fanEpoch)
+	if lm.fanVer[bID] != ver {
+		t.Fatalf("egg→nestling bumped fanVer[b] %d -> %d", ver, lm.fanVer[bID])
 	}
 	again := lm.cachedFans(bID)
 	if &again[0] != &first[0] || len(again) != len(first) {
-		t.Error("cache rebuilt despite unchanged epoch")
+		t.Error("cache rebuilt despite unchanged version")
 	}
-	// Nestling→dove must invalidate: x stops being a consumer of b.
+	// Nestling→dove must invalidate exactly the dove's fanins: x stops
+	// being a consumer of b (and of a), while signals x does not read
+	// keep their versions and stay warm.
 	if err := lm.setState(yID, StateNestling); err != nil {
 		t.Fatal(err)
 	}
+	verA, verX := lm.fanVer[aID], lm.fanVer[xID]
 	if err := lm.setState(xID, StateDove); err != nil {
 		t.Fatal(err)
 	}
-	if lm.fanEpoch == epoch {
-		t.Fatal("nestling→dove did not advance the fan epoch")
+	if lm.fanVer[bID] == ver {
+		t.Fatal("nestling→dove did not bump the dove's fanin version")
+	}
+	if lm.fanVer[aID] == verA {
+		t.Fatal("nestling→dove did not bump fanin a's version")
+	}
+	if lm.fanVer[xID] != verX {
+		t.Fatalf("nestling→dove of x bumped x's own signal version %d -> %d", verX, lm.fanVer[xID])
 	}
 	fans := lm.cachedFans(bID)
 	if len(fans) != 1 || fans[0].node != yID {

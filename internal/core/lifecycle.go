@@ -80,13 +80,17 @@ func (lm *lily) setState(v logic.NodeID, to State) error {
 		return fmt.Errorf("core: illegal life-cycle transition %v -> %v at node %d", from, to, v)
 	}
 	lm.state[v] = to
-	// Every transition except egg→nestling changes what cachedFans would
-	// report for some signal (inclusion, position, or consumer sets), so
-	// advance the fan epoch. Egg and nestling are both "live" consumers at
-	// state-independent positions and capacitances, so that one transition
-	// keeps the cache warm across a cone's reverse-DFS sweep.
+	// Every transition except egg→nestling changes v's membership in the
+	// true-fanout lists of its direct fanins (and nothing else's: a
+	// signal's list reads only its consumers' states), so bump exactly
+	// those signals' fan versions. Egg and nestling are both "live"
+	// consumers at state-independent positions and capacitances, so that
+	// one transition keeps the caches warm across a cone's reverse-DFS
+	// sweep.
 	if from != StateEgg || to != StateNestling {
-		lm.fanEpoch++
+		for _, f := range lm.sub.Nodes[v].Fanins {
+			lm.fanVer[f]++
+		}
 	}
 	if lm.trace != nil {
 		lm.trace = append(lm.trace, Transition{Node: v, From: from, To: to})

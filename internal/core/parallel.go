@@ -15,6 +15,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"lily/internal/geom"
 	"lily/internal/logic"
 	"lily/internal/timing"
 	"lily/internal/wire"
@@ -122,9 +123,15 @@ func (lm *lily) newWorker() *lily {
 	w.ptsWork = nil
 	w.mergedStamp = make([]uint32, n)
 	w.mergedEpoch = 0
-	w.fanEpoch = 1
+	// fanVer is shared (the version array is the cross-schedule source of
+	// truth); the caches it validates are private. A fresh zero fanStamp
+	// can never equal fanVer (which starts at 1 and only grows), so every
+	// first read rebuilds. The hawk-prefix summaries travel with the
+	// private lists.
 	w.fanStamp = make([]uint64, n)
 	w.fanLists = make([][]trueFanout, n)
+	w.fanHawkCnt = make([]int32, n)
+	w.fanHawkRect = make([]geom.Rect, n)
 	w.inArr = nil
 	w.arrBuf = nil
 	w.evalBlock = new(timing.BlockArrival)
@@ -213,10 +220,11 @@ func (lm *lily) runConesParallel(order []int) error {
 						outcomes[i] = coneOutcome{err: err}
 						continue
 					}
-					// Invalidate the worker's private fan cache: commits
-					// and re-placements since its last cone have moved
-					// consumers the stale lists still reference.
-					w.fanEpoch++
+					// The worker's private fan caches self-invalidate:
+					// commits and re-placements since its last cone bumped
+					// the shared fanVer slots of every signal they touched,
+					// so stale lists rebuild on first read and untouched
+					// ones stay warm across waves.
 					w.trace = w.trace[:0]
 					root := w.sub.POs[order[wave[i]]]
 					err := w.processCone(root)
@@ -235,16 +243,11 @@ func (lm *lily) runConesParallel(order []int) error {
 			if c.err != nil {
 				return c.err
 			}
-			for _, tr := range c.trans {
-				// Mirror setState's bookkeeping for the already-applied
-				// state writes: every transition except egg→nestling
-				// invalidates the main fan-list cache.
-				if tr.From != StateEgg || tr.To != StateNestling {
-					lm.fanEpoch++
-				}
-				if lm.trace != nil {
-					lm.trace = append(lm.trace, tr)
-				}
+			// The workers' setState calls already wrote the shared state
+			// slots and bumped the shared fan versions; only the trace
+			// needs in-order replay here.
+			if lm.trace != nil {
+				lm.trace = append(lm.trace, c.trans...)
 			}
 			lm.reawakened = append(lm.reawakened[:0], c.reawakened...)
 			if err := lm.finishCone(lm.sub.POs[order[pos]], pos, len(order)); err != nil {

@@ -90,9 +90,11 @@ func (lm *lily) replaceGlobal() error {
 		lm.pl.Pos[v] = pos
 		lm.posArr[v] = pos
 	}
-	// placePositions and mapPositions moved: cached true-fanout lists are
-	// stale, advance the fan epoch.
-	lm.fanEpoch++
+	// placePositions and mapPositions moved: every cached true-fanout
+	// list is stale, bump every signal's fan version.
+	for i := range lm.fanVer {
+		lm.fanVer[i]++
+	}
 	return nil
 }
 

@@ -72,6 +72,11 @@ func normalizeOptions(opt lily.FlowOptions) lily.FlowOptions {
 	// (DESIGN.md §13), so it must not fragment the cache or reshuffle
 	// cluster ownership.
 	opt.Parallelism = 0
+	// MultilevelThreshold is semantically significant (placements differ
+	// across thresholds), but every negative value spells "disabled".
+	if opt.MultilevelThreshold < 0 {
+		opt.MultilevelThreshold = -1
+	}
 	return opt
 }
 

@@ -5,7 +5,6 @@ import (
 	"math/rand"
 	"sort"
 
-	"lily/internal/geom"
 	"lily/internal/library"
 	"lily/internal/netlist"
 )
@@ -30,52 +29,21 @@ func defaultAnneal() annealConfig {
 // throughout (swaps recompute the affected x positions).
 func annealRows(nl *netlist.Netlist, rows []*row, lib *library.Library, cfg annealConfig) {
 	legalize(nl, rows, lib)
-	nets := nl.Nets()
-	netsOf := make([][]int, len(nl.Cells))
-	for ni, net := range nets {
-		for _, s := range net.Sinks {
-			netsOf[s.Cell] = append(netsOf[s.Cell], ni)
-		}
-		if !net.Driver.IsPI {
-			netsOf[net.Driver.Index] = append(netsOf[net.Driver.Index], ni)
-		}
-	}
-	hp := func(ni int) float64 {
-		return geom.Enclosing(nl.NetPins(nets[ni])).HalfPerimeter()
-	}
+	ix := newNetIndex(nl)
 	affected := func(a, b int) []int {
-		seen := make(map[int]bool, len(netsOf[a])+len(netsOf[b]))
-		out := make([]int, 0, len(netsOf[a])+len(netsOf[b]))
-		for _, ni := range netsOf[a] {
-			if !seen[ni] {
-				seen[ni] = true
-				out = append(out, ni)
-			}
-		}
-		for _, ni := range netsOf[b] {
-			if !seen[ni] {
-				seen[ni] = true
-				out = append(out, ni)
-			}
-		}
+		out := ix.affected(a, b)
 		sort.Ints(out) // fixed summation order keeps runs bit-reproducible
 		return out
 	}
-	total := func(ns []int) float64 {
-		t := 0.0
-		for _, ni := range ns {
-			t += hp(ni)
-		}
-		return t
-	}
+	total := ix.totalHP
 
 	// Initial temperature from the mean net length.
 	mean := 0.0
-	for ni := range nets {
-		mean += hp(ni)
+	for ni := range ix.nets {
+		mean += ix.hp(ni)
 	}
-	if len(nets) > 0 {
-		mean /= float64(len(nets))
+	if len(ix.nets) > 0 {
+		mean /= float64(len(ix.nets))
 	}
 	temp := cfg.t0 * math.Max(mean, 1)
 	//lint:impure generator is seeded from cfg.seed (fixed per flow run), so the move sequence is reproducible

@@ -1,0 +1,145 @@
+package layout
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"lily/internal/geom"
+	"lily/internal/library"
+	"lily/internal/netlist"
+)
+
+// linearNearestByX is the O(n) reference the binary-search nearestByX
+// must reproduce exactly: first index with strictly minimal |x - center|.
+func linearNearestByX(nl *netlist.Netlist, r *row, x float64) int {
+	best, bestD := -1, math.MaxFloat64
+	for i, ci := range r.cells {
+		if d := math.Abs(nl.Cells[ci].Pos.X - x); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// TestNearestByXMatchesLinear: the binary search must agree with the
+// linear scan on every query, including exact-center hits, midpoints
+// between neighbors (distance ties resolve leftmost), duplicate
+// x-centers, queries off both ends, and the empty row.
+func TestNearestByXMatchesLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(12)
+		nl := &netlist.Netlist{}
+		r := &row{}
+		x := 0.0
+		for i := 0; i < n; i++ {
+			// Occasional zero step makes duplicate centers.
+			if rng.Intn(4) != 0 {
+				x += float64(rng.Intn(10) + 1)
+			}
+			nl.Cells = append(nl.Cells, &netlist.Cell{Pos: geom.Point{X: x, Y: 5}})
+			r.cells = append(r.cells, i)
+		}
+		queries := []float64{-3, 0, x, x + 7, rng.Float64() * (x + 1)}
+		for _, ci := range r.cells {
+			c := nl.Cells[ci].Pos.X
+			queries = append(queries, c, c-0.5, c+0.5)
+		}
+		// Midpoints between distinct neighbors: exact distance ties.
+		for i := 0; i+1 < n; i++ {
+			queries = append(queries, (nl.Cells[r.cells[i]].Pos.X+nl.Cells[r.cells[i+1]].Pos.X)/2)
+		}
+		for _, q := range queries {
+			got, want := nearestByX(nl, r, q), linearNearestByX(nl, r, q)
+			if got != want {
+				centers := make([]float64, n)
+				for i, ci := range r.cells {
+					centers[i] = nl.Cells[ci].Pos.X
+				}
+				t.Fatalf("trial %d: nearestByX(%v, %g) = %d, linear scan = %d", trial, centers, q, got, want)
+			}
+		}
+	}
+}
+
+// TestNetIndexMatchesNaive: the CSR index, the stamp-based affected set,
+// and the allocation-free hp must reproduce the naive formulations — hp
+// bit-identical to Enclosing(NetPins()).HalfPerimeter(), and affected(a,b)
+// equal as an ordered dedup union of the two cells' net lists.
+func TestNetIndexMatchesNaive(t *testing.T) {
+	nl := misNetlist(t, "C499")
+	lib := library.Big()
+	rows := buildRows(nl, lib)
+	legalize(nl, rows, lib)
+	ix := newNetIndex(nl)
+
+	nets := nl.Nets()
+	if len(nets) != len(ix.nets) {
+		t.Fatalf("index holds %d nets, Nets() returns %d", len(ix.nets), len(nets))
+	}
+	for ni := range nets {
+		want := geom.Enclosing(nl.NetPins(nets[ni])).HalfPerimeter()
+		if got := ix.hp(ni); got != want {
+			t.Fatalf("net %d: hp = %v, Enclosing.HalfPerimeter = %v (must be bit-identical)", ni, got, want)
+		}
+	}
+
+	netsOf := make([][]int, len(nl.Cells))
+	for ni, net := range nets {
+		for _, s := range net.Sinks {
+			netsOf[s.Cell] = append(netsOf[s.Cell], ni)
+		}
+		if !net.Driver.IsPI {
+			netsOf[net.Driver.Index] = append(netsOf[net.Driver.Index], ni)
+		}
+	}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 500; trial++ {
+		a, b := rng.Intn(len(nl.Cells)), rng.Intn(len(nl.Cells))
+		seen := map[int]bool{}
+		var want []int
+		for _, ni := range netsOf[a] {
+			if !seen[ni] {
+				seen[ni] = true
+				want = append(want, ni)
+			}
+		}
+		for _, ni := range netsOf[b] {
+			if !seen[ni] {
+				seen[ni] = true
+				want = append(want, ni)
+			}
+		}
+		got := ix.affected(a, b)
+		if len(got) != len(want) {
+			t.Fatalf("affected(%d,%d) = %v, want %v", a, b, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("affected(%d,%d) = %v, want %v (order matters)", a, b, got, want)
+			}
+		}
+	}
+
+	// CSR per-cell lists must be exactly the naive slice-of-slices.
+	for c := range nl.Cells {
+		got := ix.ids[ix.off[c]:ix.off[c+1]]
+		if len(got) != len(netsOf[c]) {
+			t.Fatalf("cell %d: CSR degree %d, want %d", c, len(got), len(netsOf[c]))
+		}
+		gi := make([]int, len(got))
+		for i, v := range got {
+			gi[i] = int(v)
+		}
+		sort.Ints(gi)
+		wi := append([]int(nil), netsOf[c]...)
+		sort.Ints(wi)
+		for i := range gi {
+			if gi[i] != wi[i] {
+				t.Fatalf("cell %d: CSR nets %v, want %v", c, gi, wi)
+			}
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"lily/internal/geom"
 	"lily/internal/logic"
@@ -44,16 +45,25 @@ type Config struct {
 	// folds partial sums in a fixed partition order, so the placement is
 	// bit-identical at any setting; 0 or 1 runs sequentially.
 	Parallelism int
+	// MultilevelThreshold engages the multilevel V-cycle (DESIGN.md §15)
+	// when the movable-cell count reaches it: seeded heavy-edge matching
+	// coarsens the netlist until the coarsest level fits the flat
+	// CG+FM engine, and each uncluster step seeds children from the
+	// parent cluster centroid and runs a bounded anchored refinement.
+	// Zero disables multilevel entirely (the flat path is byte-identical
+	// to earlier releases at any threshold above the instance size).
+	MultilevelThreshold int
 }
 
 // DefaultConfig returns the configuration used throughout the experiments.
 func DefaultConfig() Config {
 	return Config{
-		Utilization: 0.55,
-		MinRegion:   12,
-		CGTol:       1e-6,
-		CGMaxIter:   400,
-		MaxLevels:   14,
+		Utilization:         0.55,
+		MinRegion:           12,
+		CGTol:               1e-6,
+		CGMaxIter:           400,
+		MaxLevels:           14,
+		MultilevelThreshold: 25000,
 	}
 }
 
@@ -100,15 +110,16 @@ func GlobalContext(ctx context.Context, net *logic.Network, cellWidth func(logic
 	defer span.End()
 	// Movable cells.
 	var movable []logic.NodeID
-	idx := make(map[logic.NodeID]int)
+	var areas []float64
 	totalArea := 0.0
 	for _, nd := range net.Nodes {
 		if nd == nil || nd.Kind != logic.KindLogic {
 			continue
 		}
-		idx[nd.ID] = len(movable)
 		movable = append(movable, nd.ID)
-		totalArea += cellWidth(nd.ID) * rowHeight
+		a := cellWidth(nd.ID) * rowHeight
+		areas = append(areas, a)
+		totalArea += a
 	}
 	if len(movable) == 0 {
 		return nil, fmt.Errorf("place: network has no logic nodes")
@@ -138,9 +149,8 @@ func GlobalContext(ctx context.Context, net *logic.Network, cellWidth func(logic
 		}
 	}
 
-	// Nets: one per driver with at least two terminals.
-	nets := buildNets(net, pads)
-
+	// Dense NodeID -> movable-index translation, used once while building
+	// the nets; net pins carry movable indices from then on.
 	idxArr := make([]int32, len(net.Nodes))
 	for i := range idxArr {
 		idxArr[i] = -1
@@ -148,13 +158,23 @@ func GlobalContext(ctx context.Context, net *logic.Network, cellWidth func(logic
 	for mi, id := range movable {
 		idxArr[id] = int32(mi)
 	}
+	// Nets: one per driver with at least two terminals.
+	nets := buildNets(net, pads, idxArr)
+
 	p := &placer{
 		ctx: ctx, net: net, cfg: cfg, die: die,
-		movable: movable, idx: idx, idxArr: idxArr, pads: pads, nets: nets,
+		movable: movable, n: len(movable), areas: areas,
+		pads: pads, nets: nets,
 		width: cellWidth, rowHeight: rowHeight,
 		fm: obs.FlowMetricsFrom(ctx),
 	}
-	res, err := p.run()
+	var res *Result
+	var err error
+	if cfg.MultilevelThreshold > 0 && len(movable) >= cfg.MultilevelThreshold {
+		res, err = p.runMultilevel()
+	} else {
+		res, err = p.run()
+	}
 	if err != nil {
 		span.SetError(err)
 		return nil, err
@@ -164,6 +184,7 @@ func GlobalContext(ctx context.Context, net *logic.Network, cellWidth func(logic
 		span.SetInt("cells", int64(len(movable)))
 		span.SetInt("cg_iterations", int64(p.cgIters))
 		span.SetInt("partition_levels", int64(p.levels))
+		span.SetInt("coarsen_levels", int64(p.mlLevels))
 		span.SetFloat("hpwl_um", res.TotalHPWL(net))
 	}
 	return res, nil
@@ -179,7 +200,10 @@ type netDef struct {
 	pins []netPin
 }
 
-func buildNets(net *logic.Network, pads []*pad) []netDef {
+// buildNets builds one net per driver with at least two terminals. Cell
+// pins are resolved to movable indices through idxArr up front (-1 for
+// non-movable cells), so every later consumer works on dense indices.
+func buildNets(net *logic.Network, pads []*pad, idxArr []int32) []netDef {
 	piPad := make(map[logic.NodeID]*pad)
 	poPads := make(map[logic.NodeID][]*pad)
 	for _, pd := range pads {
@@ -198,10 +222,10 @@ func buildNets(net *logic.Network, pads []*pad) []netDef {
 		if nd.Kind == logic.KindPI {
 			pins = append(pins, netPin{cell: -1, pad: piPad[nd.ID]})
 		} else {
-			pins = append(pins, netPin{cell: int(nd.ID)}) // fixed up below
+			pins = append(pins, netPin{cell: int(idxArr[nd.ID])})
 		}
 		for _, fo := range dedup(net.Fanouts(nd.ID)) {
-			pins = append(pins, netPin{cell: int(fo)})
+			pins = append(pins, netPin{cell: int(idxArr[fo])})
 		}
 		for _, pd := range poPads[nd.ID] {
 			pins = append(pins, netPin{cell: -1, pad: pd})
@@ -257,34 +281,39 @@ func perimeterPoint(die geom.Rect, d float64) geom.Point {
 }
 
 type placer struct {
-	ctx     context.Context
-	net     *logic.Network
-	cfg     Config
-	die     geom.Rect
-	movable []logic.NodeID
-	idx     map[logic.NodeID]int
-	// idxArr is the dense mirror of idx (-1 for non-movable node IDs);
-	// pinIndex sits inside the per-region net projection loops, where
-	// the map lookup dominated the partition profile.
-	idxArr    []int32
+	ctx context.Context
+	net *logic.Network
+	cfg Config
+	die geom.Rect
+	// movable maps point index -> NodeID at the finest level; the solver
+	// core below it only sees n points with areas and nets, so the
+	// multilevel driver can swap in coarsened problems (multilevel.go).
+	movable   []logic.NodeID
+	n         int
+	areas     []float64
 	pads      []*pad
 	nets      []netDef
 	width     func(logic.NodeID) float64
 	rowHeight float64
 
 	// fm receives solver-effort counters; levels and cgIters accumulate
-	// partition depth and conjugate-gradient iterations for the span.
-	fm      *obs.FlowMetrics
-	levels  int
-	cgIters int
+	// partition depth and conjugate-gradient iterations for the span;
+	// mlLevels counts coarsening levels when the V-cycle engages.
+	fm       *obs.FlowMetrics
+	levels   int
+	cgIters  int
+	mlLevels int
+
+	// scratch pools the movable->local projection arrays used by
+	// splitRegion, one per partition worker instead of one per region.
+	scratch sync.Pool
 
 	x, y []float64
 }
 
 func (p *placer) run() (*Result, error) {
-	n := len(p.movable)
-	p.x = make([]float64, n)
-	p.y = make([]float64, n)
+	p.x = make([]float64, p.n)
+	p.y = make([]float64, p.n)
 	c := p.die.Center()
 	for i := range p.x {
 		p.x[i] = c.X
@@ -304,20 +333,31 @@ func (p *placer) run() (*Result, error) {
 		}
 	}
 	// Phase 3: recursive bipartitioning with region anchors.
-	regions, err := p.partition()
+	leaves, err := p.partitionFrom([]*region{p.rootRegion()}, 1, p.cfg.MaxLevels)
 	if err != nil {
 		return nil, err
 	}
+	return p.assemble(leaves), nil
+}
 
+// assemble turns the final point positions and leaf regions into a Result,
+// clamping every point into its region rectangle.
+func (p *placer) assemble(leaves []*region) *Result {
+	rects := make([]geom.Rect, p.n)
+	for _, r := range leaves {
+		for _, ci := range r.cells {
+			rects[ci] = r.rect
+		}
+	}
 	res := &Result{
-		Pos:     make(map[logic.NodeID]geom.Point, n+len(p.pads)),
+		Pos:     make(map[logic.NodeID]geom.Point, p.n+len(p.pads)),
 		POPads:  make(map[string]geom.Point),
 		Die:     p.die,
-		Regions: make(map[logic.NodeID]geom.Rect, n),
+		Regions: make(map[logic.NodeID]geom.Rect, p.n),
 	}
 	for i, id := range p.movable {
 		pt := geom.Point{X: p.x[i], Y: p.y[i]}
-		r := regions[i]
+		r := rects[i]
 		pt = clampTo(pt, r)
 		res.Pos[id] = pt
 		res.Regions[id] = r
@@ -329,7 +369,7 @@ func (p *placer) run() (*Result, error) {
 			res.POPads[pd.name] = pd.pos
 		}
 	}
-	return res, nil
+	return res
 }
 
 func clampTo(pt geom.Point, r geom.Rect) geom.Point {
@@ -356,7 +396,7 @@ func clampTo(pt geom.Point, r geom.Rect) geom.Point {
 // Parallelism > 1 they solve concurrently; iteration counts still
 // accumulate in X-then-Y order.
 func (p *placer) solveQP(anchor []geom.Point, anchorW float64) error {
-	q := newQuadSystem(len(p.movable))
+	q := newQuadSystem(p.n)
 	q.par = p.cfg.Parallelism
 	for _, nd := range p.nets {
 		k := len(nd.pins)
@@ -376,7 +416,7 @@ func (p *placer) solveQP(anchor []geom.Point, anchorW float64) error {
 		}
 	}
 	if anchor != nil {
-		for i := range p.movable {
+		for i := 0; i < p.n; i++ {
 			q.addFixed(i, anchorW, anchor[i].X, anchor[i].Y)
 		}
 	}
@@ -425,7 +465,7 @@ func (p *placer) pinIndex(pin netPin) int {
 	if pin.pad != nil {
 		return -1
 	}
-	return int(p.idxArr[pin.cell])
+	return pin.cell
 }
 
 // assignPads reassigns pads to boundary slots ordered by the angle of each
@@ -472,27 +512,84 @@ func (p *placer) assignPads() {
 	}
 }
 
-// region is one node of the bipartition tree.
+// region is one node of the bipartition tree. nets holds, in ascending
+// order, the indices (into placer.nets) of the nets with at least two
+// movable pins inside the region, inherited from the parent at each split
+// so no level rescans the full net list.
 type region struct {
 	rect  geom.Rect
-	cells []int // movable indices
+	cells []int // point indices, ascending
+	nets  []int32
 	area  float64
 }
 
-// partition recursively splits the cell set, re-solving the QP with region
-// anchors after each level, and returns the final region of every cell.
-func (p *placer) partition() ([]geom.Rect, error) {
-	all := make([]int, len(p.movable))
-	areas := make([]float64, len(p.movable))
+// rootRegion builds the region covering every point, with the nets that
+// have at least two movable pins.
+func (p *placer) rootRegion() *region {
+	all := make([]int, p.n)
 	total := 0.0
-	for i, id := range p.movable {
+	for i := 0; i < p.n; i++ {
 		all[i] = i
-		areas[i] = p.width(id) * p.rowHeight
-		total += areas[i]
+		total += p.areas[i]
 	}
-	regions := []*region{{rect: p.die, cells: all, area: total}}
+	r := &region{rect: p.die, cells: all, area: total}
+	for ni, nd := range p.nets {
+		cnt := 0
+		for _, pin := range nd.pins {
+			if p.pinIndex(pin) >= 0 {
+				cnt++
+			}
+		}
+		if cnt >= 2 {
+			r.nets = append(r.nets, int32(ni))
+		}
+	}
+	return r
+}
 
-	for level := 1; level <= p.cfg.MaxLevels; level++ {
+// regionScratch is the reusable point->local-index projection used by
+// splitRegion. Entries are validated by an epoch stamp so clearing between
+// regions is O(1) instead of O(n).
+type regionScratch struct {
+	local []int32
+	stamp []int32
+	cur   int32
+}
+
+func (s *regionScratch) begin(n int) {
+	if len(s.local) < n {
+		s.local = make([]int32, n)
+		s.stamp = make([]int32, n)
+		s.cur = 0
+	}
+	if s.cur == math.MaxInt32 {
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		s.cur = 0
+	}
+	s.cur++
+}
+
+func (s *regionScratch) set(i int, li int32) {
+	s.local[i] = li
+	s.stamp[i] = s.cur
+}
+
+func (s *regionScratch) get(i int) int32 {
+	if s.stamp[i] == s.cur {
+		return s.local[i]
+	}
+	return -1
+}
+
+// partitionFrom recursively splits the given regions, re-solving the QP
+// with region anchors after each level, and returns the final leaf
+// regions. startLevel continues the anchor-weight schedule (the flat path
+// starts at 1; the multilevel driver resumes from the depth already
+// reached at the coarser level).
+func (p *placer) partitionFrom(regions []*region, startLevel, maxLevel int) ([]*region, error) {
+	for level := startLevel; level <= maxLevel; level++ {
 		if err := p.ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -504,12 +601,17 @@ func (p *placer) partition() ([]geom.Rect, error) {
 		type splitPair struct{ a, b *region }
 		pairs := make([]splitPair, len(regions))
 		parallelFor(len(regions), p.cfg.Parallelism, func(lo, hi int) {
+			scr, _ := p.scratch.Get().(*regionScratch)
+			if scr == nil {
+				scr = &regionScratch{}
+			}
 			for ri := lo; ri < hi; ri++ {
 				if len(regions[ri].cells) > p.cfg.MinRegion {
-					a, b := p.splitRegion(regions[ri], areas)
+					a, b := p.splitRegion(regions[ri], scr)
 					pairs[ri] = splitPair{a, b}
 				}
 			}
+			p.scratch.Put(scr)
 		})
 		for ri, r := range regions {
 			if pairs[ri].a == nil {
@@ -526,33 +628,33 @@ func (p *placer) partition() ([]geom.Rect, error) {
 		p.levels = level
 		// Re-solve with anchors pulling each cell toward its region center;
 		// anchor strength grows with level so late levels dominate.
-		anchor := make([]geom.Point, len(p.movable))
+		anchor := make([]geom.Point, p.n)
 		for _, r := range regions {
 			c := r.rect.Center()
 			for _, ci := range r.cells {
 				anchor[ci] = c
 			}
 		}
-		w := 0.08 * math.Pow(1.9, float64(level))
+		w := anchorWeight(level)
 		if err := p.solveQP(anchor, w); err != nil {
 			return nil, err
 		}
 	}
+	return regions, nil
+}
 
-	out := make([]geom.Rect, len(p.movable))
-	for _, r := range regions {
-		for _, ci := range r.cells {
-			out[ci] = r.rect
-		}
-	}
-	return out, nil
+// anchorWeight is the geometric anchor-strength schedule shared by the
+// flat partition and the multilevel continuation.
+func anchorWeight(level int) float64 {
+	return 0.08 * math.Pow(1.9, float64(level))
 }
 
 // splitRegion bisects a region along its longer axis: cells are seeded into
 // halves by sorted position (area-balanced), refined by FM on the nets
 // projected into the region, and the rectangle is split proportionally to
-// the resulting side areas.
-func (p *placer) splitRegion(r *region, areas []float64) (*region, *region) {
+// the resulting side areas. Children inherit the parent's net list, keeping
+// only nets with at least two pins on their side.
+func (p *placer) splitRegion(r *region, scr *regionScratch) (*region, *region) {
 	horiz := r.rect.Width() >= r.rect.Height() // split along x if wide
 	cells := append([]int(nil), r.cells...)
 	sort.SliceStable(cells, func(a, b int) bool {
@@ -574,7 +676,7 @@ func (p *placer) splitRegion(r *region, areas []float64) (*region, *region) {
 	acc := 0.0
 	cut := 0
 	for i, c := range cells {
-		acc += areas[c]
+		acc += p.areas[c]
 		if acc >= half {
 			cut = i + 1
 			break
@@ -584,26 +686,23 @@ func (p *placer) splitRegion(r *region, areas []float64) (*region, *region) {
 		cut = len(cells) / 2
 	}
 
-	// Local FM refinement on the projected hypergraph. The movable→local
-	// index translation is a dense array (-1 = outside the region): this
-	// projection runs over every net for every region of every level,
-	// where a hash lookup per pin dominated the partition profile.
-	local := make([]int32, len(p.movable)) // movable idx -> local idx
-	for i := range local {
-		local[i] = -1
-	}
+	// Local FM refinement on the hypergraph projected from the region's
+	// own net list. The point→local translation is an epoch-stamped
+	// scratch (-1 = outside the region) shared across the worker's
+	// regions: this projection is the hottest loop of the partition.
+	scr.begin(p.n)
 	for li, c := range cells {
-		local[c] = int32(li)
+		scr.set(c, int32(li))
 	}
 	h := &Hypergraph{Areas: make([]float64, len(cells))}
 	for li, c := range cells {
-		h.Areas[li] = areas[c]
+		h.Areas[li] = p.areas[c]
 	}
-	for _, nd := range p.nets {
+	for _, ni := range r.nets {
 		var pins []int
-		for _, pin := range nd.pins {
+		for _, pin := range p.nets[ni].pins {
 			if i := p.pinIndex(pin); i >= 0 {
-				if li := local[i]; li >= 0 {
+				if li := scr.get(i); li >= 0 {
 					pins = append(pins, int(li))
 				}
 			}
@@ -625,10 +724,31 @@ func (p *placer) splitRegion(r *region, areas []float64) (*region, *region) {
 	for li, c := range cells {
 		if part[li] == 0 {
 			a.cells = append(a.cells, c)
-			a.area += areas[c]
+			a.area += p.areas[c]
 		} else {
 			b.cells = append(b.cells, c)
-			b.area += areas[c]
+			b.area += p.areas[c]
+		}
+	}
+	// Project the parent's nets onto each side, preserving ascending order.
+	for _, ni := range r.nets {
+		ca, cb := 0, 0
+		for _, pin := range p.nets[ni].pins {
+			if i := p.pinIndex(pin); i >= 0 {
+				if li := scr.get(i); li >= 0 {
+					if part[li] == 0 {
+						ca++
+					} else {
+						cb++
+					}
+				}
+			}
+		}
+		if ca >= 2 {
+			a.nets = append(a.nets, ni)
+		}
+		if cb >= 2 {
+			b.nets = append(b.nets, ni)
 		}
 	}
 	frac := 0.5

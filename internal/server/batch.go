@@ -202,6 +202,9 @@ func (s *Server) handleBatchSubmit(w http.ResponseWriter, r *http.Request) {
 		if jr.Options.Target == "" {
 			jr.Options.Target = s.defaultTarget.String()
 		}
+		if jr.Options.MultilevelThreshold == 0 {
+			jr.Options.MultilevelThreshold = s.defaultMLThreshold
+		}
 		opt, err := jr.Options.ToFlowOptions()
 		if err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("job %d: %w", i, err))

@@ -84,6 +84,10 @@ type Server struct {
 	// empty. Zero value is TargetASIC, the historical behavior.
 	defaultTarget lily.TechnologyTarget
 
+	// defaultMLThreshold fills JobOptions.MultilevelThreshold when a
+	// request leaves it zero. Zero keeps the library default.
+	defaultMLThreshold int
+
 	// Logger, when set before the server starts handling traffic, gets
 	// one structured record per request (route, method, path, status,
 	// duration). Nil disables request logging.
@@ -107,6 +111,15 @@ func WithNodeID(id string) Option { return func(s *Server) { s.nodeID = id } }
 // started with -target lut4 keys its cache under the lut4 digests.
 func WithDefaultTarget(t lily.TechnologyTarget) Option {
 	return func(s *Server) { s.defaultTarget = t }
+}
+
+// WithDefaultMultilevelThreshold sets the placement V-cycle threshold
+// substituted into jobs that leave options.multilevel_threshold zero
+// (lilyd -multilevel-threshold). Like WithDefaultTarget, the
+// substitution happens before validation and digest computation, so a
+// node started with a non-default threshold keys its cache accordingly.
+func WithDefaultMultilevelThreshold(n int) Option {
+	return func(s *Server) { s.defaultMLThreshold = n }
 }
 
 // WithCluster attaches the peer layer: /v1/stats grows a cluster health
@@ -256,6 +269,11 @@ type JobOptions struct {
 	// any setting and the request digest excludes it. 0 defers to the
 	// server-wide default (lilyd -parallelism).
 	Parallelism int `json:"parallelism,omitempty"`
+	// MultilevelThreshold sets the movable-cell count above which global
+	// placement switches to the multilevel V-cycle (DESIGN.md §15). 0
+	// keeps the default (25000), negative disables multilevel placement.
+	// Semantically significant: it participates in the request digest.
+	MultilevelThreshold int `json:"multilevel_threshold,omitempty"`
 }
 
 // ToFlowOptions validates and converts the JSON options.
@@ -312,6 +330,7 @@ func (o JobOptions) ToFlowOptions() (lily.FlowOptions, error) {
 		return opt, fmt.Errorf("parallelism must be >= 0")
 	}
 	opt.Parallelism = o.Parallelism
+	opt.MultilevelThreshold = o.MultilevelThreshold
 	return opt, nil
 }
 
@@ -364,6 +383,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Options.Target == "" {
 		req.Options.Target = s.defaultTarget.String()
+	}
+	if req.Options.MultilevelThreshold == 0 {
+		req.Options.MultilevelThreshold = s.defaultMLThreshold
 	}
 	opt, err := req.Options.ToFlowOptions()
 	if err != nil {

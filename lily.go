@@ -48,7 +48,9 @@ type Circuit struct {
 // GenerateBenchmark builds one of the synthetic stand-ins for the paper's
 // MCNC/ISCAS-85 benchmarks (see DESIGN.md for the substitution rationale).
 // Valid names: 9symml, C1908, C3540, C432, C499, C5315, C880, apex6,
-// apex7, b9, apex3, duke2, e64, misex1, misex3.
+// apex7, b9, apex3, duke2, e64, misex1, misex3 — plus the scale suite
+// (ScaleBenchmarkNames): mid5k, mid10k, gen50k, gen100k, gen200k,
+// gen500k.
 func GenerateBenchmark(name string) (*Circuit, error) {
 	p, ok := bench.ProfileByName(name)
 	if !ok {
@@ -61,6 +63,19 @@ func GenerateBenchmark(name string) (*Circuit, error) {
 func BenchmarkNames() []string {
 	var names []string
 	for _, p := range bench.Profiles() {
+		names = append(names, p.Name)
+	}
+	return names
+}
+
+// ScaleBenchmarkNames returns the synthetic scale suite in ascending size
+// order: two midsize golden carriers (mid5k, mid10k) and the 50k–500k-gate
+// generators that exercise the multilevel placement regime. Deliberately
+// separate from BenchmarkNames so the Table 1/2 reproductions keep their
+// fifteen rows.
+func ScaleBenchmarkNames() []string {
+	var names []string
+	for _, p := range bench.ScaleProfiles() {
 		names = append(names, p.Name)
 	}
 	return names
@@ -308,6 +323,14 @@ type FlowOptions struct {
 	// is byte-identical at every setting, so it does not participate in
 	// the engine's request digest. 0 or 1 runs sequentially.
 	Parallelism int
+	// MultilevelThreshold sets the movable-cell count above which every
+	// global placement in the flow (the mapper's seed placement, its
+	// periodic re-placements, and the layout backend) switches to the
+	// multilevel V-cycle (DESIGN.md §15). Zero keeps the default
+	// (25000); a negative value disables multilevel placement entirely.
+	// Semantically significant: placements differ across thresholds, so
+	// the engine's request digest includes it.
+	MultilevelThreshold int
 }
 
 // FlowResult reports a completed pipeline run with the paper's metrics.
@@ -539,7 +562,7 @@ func runPipeline(ctx context.Context, c *Circuit, opt FlowOptions) (*FlowResult,
 	var err error
 	pctx, sp := obs.StartSpan(ctx, "premap")
 	if opt.LayoutDrivenDecomposition {
-		pre, err = placedPremap(pctx, c.net, lib)
+		pre, err = placedPremap(pctx, c.net, lib, opt)
 	} else {
 		pre, err = decomp.Premap(c.net)
 	}
@@ -572,6 +595,7 @@ func runPipeline(ctx context.Context, c *Circuit, opt FlowOptions) (*FlowResult,
 		copt.TwoPassDelay = opt.TwoPassDelay
 		copt.Parallelism = opt.Parallelism
 		copt.Place.Parallelism = opt.Parallelism
+		applyMultilevel(&copt.Place, opt)
 		res, err := core.MapContext(ctx, sub, lib, copt)
 		if err != nil {
 			return nil, nil, err
@@ -608,7 +632,9 @@ func runPipeline(ctx context.Context, c *Circuit, opt FlowOptions) (*FlowResult,
 		// Buffer placement needs positions; MIS netlists get their global
 		// placement first (the backend would have run it anyway).
 		if !layout.HasSeedPositions(nl) {
-			if err := layout.GlobalPlace(nl, lib, place.DefaultConfig()); err != nil {
+			pcfg := place.DefaultConfig()
+			applyMultilevel(&pcfg, opt)
+			if err := layout.GlobalPlace(nl, lib, pcfg); err != nil {
 				fsp.SetError(err)
 				fsp.End()
 				return nil, nil, err
@@ -644,6 +670,8 @@ func runPipeline(ctx context.Context, c *Circuit, opt FlowOptions) (*FlowResult,
 	}
 	lopt := layout.DefaultOptions()
 	lopt.Anneal = opt.AnnealPlacement
+	lopt.Place.Parallelism = opt.Parallelism
+	applyMultilevel(&lopt.Place, opt)
 	_, lsp := obs.StartSpan(ctx, "layout")
 	lres, err := layout.Place(nl, lib, lopt)
 	if err != nil {
@@ -752,13 +780,26 @@ func wireModel(e WireEstimator) wire.Model {
 	return wire.ModelHPWLSteiner
 }
 
+// applyMultilevel resolves FlowOptions.MultilevelThreshold onto one
+// placement config: positive overrides the default, negative disables
+// the V-cycle (place treats a zero threshold as "never engage").
+func applyMultilevel(cfg *place.Config, opt FlowOptions) {
+	if opt.MultilevelThreshold > 0 {
+		cfg.MultilevelThreshold = opt.MultilevelThreshold
+	} else if opt.MultilevelThreshold < 0 {
+		cfg.MultilevelThreshold = 0
+	}
+}
+
 // placedPremap implements the layout-oriented decomposition of Fig 1.1b:
 // place the source network (gates approximated by the NAND2 base cell),
 // then decompose each node with its literals ordered by recursive spatial
 // bipartition of their placed positions.
-func placedPremap(ctx context.Context, net *logic.Network, lib *library.Library) (*decomp.Result, error) {
+func placedPremap(ctx context.Context, net *logic.Network, lib *library.Library, opt FlowOptions) (*decomp.Result, error) {
+	cfg := place.DefaultConfig()
+	applyMultilevel(&cfg, opt)
 	pr, err := place.GlobalContext(ctx, net, func(logic.NodeID) float64 { return lib.Nand2.Width },
-		lib.RowHeight, place.DefaultConfig())
+		lib.RowHeight, cfg)
 	if err != nil {
 		return nil, err
 	}

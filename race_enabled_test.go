@@ -1,0 +1,10 @@
+//go:build race
+
+package lily_test
+
+// raceEnabled reports whether the race detector is compiled in. The
+// scale smoke test excludes itself under -race: the detector's ~10x
+// slowdown on a 100k-gate pipeline tells us nothing the race-lifecycle
+// CI job (which runs the concurrency suites under -race directly)
+// doesn't, and would blow the wall-clock budget the test exists to pin.
+const raceEnabled = true

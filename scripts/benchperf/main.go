@@ -59,6 +59,12 @@ var targets = []benchTarget{
 // mapper's DP structure, so any drift means the cover loop changed shape.
 var wireEvalCircuits = []string{"9symml", "C432", "C880", "apex7", "duke2", "e64", "misex1"}
 
+// gpsProfiles is the scale-suite sample for the gates-per-second series:
+// three sizes spanning 2k to 20k generated nodes, each run through the
+// complete pipeline once. Larger profiles exist (gen100k–gen500k) but
+// belong to the scale-smoke job, not the per-PR perf gate.
+var gpsProfiles = []string{"mid5k", "mid10k", "gen50k"}
+
 // result is one benchmark line: the three quantities the regression gate
 // compares.
 type result struct {
@@ -90,6 +96,11 @@ type snapshot struct {
 	// (DESIGN.md §13). Gated at -min-speedup on hosts wide enough for
 	// the target to be meaningful.
 	ParallelSpeedup float64 `json:"parallel_speedup,omitempty"`
+	// GatesPerSecond is the full-pipeline throughput (generated nodes per
+	// wall-clock second) for each scale profile in gpsProfiles — the
+	// frontier-scaling series the ROADMAP tracks. Wall-clock-based, so it
+	// gates at -time-tolerance (a drop beyond it fails the build).
+	GatesPerSecond map[string]float64 `json:"gates_per_second,omitempty"`
 }
 
 func main() {
@@ -173,6 +184,15 @@ func collect() (*snapshot, error) {
 		}
 	}
 	snap.ConesMapped = cones
+	snap.GatesPerSecond = make(map[string]float64, len(gpsProfiles))
+	for _, name := range gpsProfiles {
+		gps, err := scaleThroughput(name)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("benchperf: %s: %.0f gates/s\n", name, gps)
+		snap.GatesPerSecond[name] = gps
+	}
 	snap.NumCPU = runtime.NumCPU()
 	seq, par := snap.Benchmarks["PipelineC5315"], snap.Benchmarks["PipelineC5315Parallel"]
 	if seq.NsPerOp > 0 && par.NsPerOp > 0 {
@@ -267,6 +287,25 @@ func wireEvals(tgt lily.TechnologyTarget) (evals, cones uint64, err error) {
 	return fm.WireEvals.Value(), fm.ConesMapped.Value(), nil
 }
 
+// scaleThroughput runs the complete pipeline once on a scale profile and
+// returns generated nodes per wall-clock second.
+func scaleThroughput(name string) (float64, error) {
+	c, err := lily.GenerateBenchmark(name)
+	if err != nil {
+		return 0, err
+	}
+	nodes := c.Stats().Nodes
+	start := time.Now()
+	if _, err := lily.RunFlow(c, lily.FlowOptions{
+		Mapper:      lily.MapperLily,
+		Objective:   lily.ObjectiveArea,
+		Parallelism: runtime.NumCPU(),
+	}); err != nil {
+		return 0, fmt.Errorf("throughput probe on %s: %w", name, err)
+	}
+	return float64(nodes) / time.Since(start).Seconds(), nil
+}
+
 // compare returns one message per metric in base that regressed beyond
 // its tolerance in cur. Missing benchmarks are regressions too: a gate
 // that silently drops its slowest case is not a gate.
@@ -318,6 +357,25 @@ func compare(base, cur *snapshot, tol, timeTol, minNs float64) []string {
 		if msg := exceeds("wire-eval probe @"+t, "wire_cost_evaluations",
 			float64(b), float64(c), tol); msg != "" {
 			errs = append(errs, msg)
+		}
+	}
+	profs := make([]string, 0, len(base.GatesPerSecond))
+	for p := range base.GatesPerSecond {
+		profs = append(profs, p)
+	}
+	sort.Strings(profs)
+	for _, p := range profs {
+		b := base.GatesPerSecond[p]
+		c, ok := cur.GatesPerSecond[p]
+		if !ok {
+			errs = append(errs, fmt.Sprintf("scale throughput %s: present in baseline, missing from this run", p))
+			continue
+		}
+		// Throughput regresses downward, so the gate inverts: failing
+		// means cur fell below base/(1+timeTol).
+		if b > 0 && c < b/(1+timeTol) {
+			errs = append(errs, fmt.Sprintf("scale throughput %s: %.0f -> %.0f gates/s (%.1f%%, tolerance -%.0f%%)",
+				p, b, c, 100*(c/b-1), 100*timeTol/(1+timeTol)))
 		}
 	}
 	return errs
